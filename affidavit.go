@@ -1,0 +1,268 @@
+// Package affidavit explains differences between two unaligned snapshots of
+// the same database table, reproducing the EDBT 2020 paper "Explaining
+// Differences Between Unaligned Table Snapshots" (Fink, Meilicke,
+// Stuckenschmidt).
+//
+// Given a source and a target snapshot under the same schema — with no
+// record alignment and possibly rewritten primary keys — Explain searches
+// for the minimum-description-length explanation: per-attribute
+// transformation functions (identity, casing, constants, numeric
+// addition/scaling, masking, trimming, affixing, prefix/suffix replacement,
+// value mappings) plus a set of deleted and inserted records, such that the
+// surviving "core" of the source maps bijectively onto the target.
+//
+// Quickstart:
+//
+//	src, _ := affidavit.ReadCSVFile("before.csv")
+//	tgt, _ := affidavit.ReadCSVFile("after.csv")
+//	res, err := affidavit.Explain(src, tgt, affidavit.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println(res.Report())          // what changed, as functions
+//	fmt.Println(res.SQL("my_table"))   // executable migration script
+//	out := res.Transform(unseenRecord) // generalises to unseen records
+package affidavit
+
+import (
+	"fmt"
+	"io"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/report"
+	"affidavit/internal/schemamatch"
+	"affidavit/internal/search"
+	"affidavit/internal/table"
+)
+
+// Table is a snapshot: a schema plus records. Construct with NewTable or
+// the CSV readers.
+type Table = table.Table
+
+// Record is one value tuple.
+type Record = table.Record
+
+// Schema is an ordered attribute tuple.
+type Schema = table.Schema
+
+// Explanation is a valid explanation E = (S^{E−}, T^{E+}, F^E) with its
+// core alignment.
+type Explanation = delta.Explanation
+
+// Stats reports how much work a run performed.
+type Stats = search.Stats
+
+// Start selects the search's start-state strategy.
+type Start = search.StartStrategy
+
+// Func is an instantiated attribute transformation function. Custom
+// implementations must be total (identity outside their domain) and
+// deterministic; Params is the function's description length ψ.
+type Func = metafunc.Func
+
+// Meta is a family of transformation functions learnable from a single
+// input–output example. Domain experts extend Affidavit by implementing
+// this interface and passing instances via Options.ExtraMetas — the Go
+// rendition of the paper's "small Java interface" extension point.
+type Meta = metafunc.Meta
+
+// Start strategies (Section 4.2 of the paper).
+const (
+	// StartOverlap bootstraps from overlap-score record matching (Hs).
+	StartOverlap = search.StartOverlap
+	// StartID assumes one attribute at a time unchanged (Hid, default).
+	StartID = search.StartID
+	// StartEmpty starts from the all-undecided state (H∅).
+	StartEmpty = search.StartEmpty
+)
+
+// Options configures Explain. Zero value fields fall back to the defaults
+// of DefaultOptions.
+type Options struct {
+	// Alpha weighs unexplained records against function complexity in the
+	// MDL cost 2α·L(T+) + 2(1−α)·L(F). Default 0.5.
+	Alpha float64
+	// Beta is the search branching factor β. Default 2.
+	Beta int
+	// QueueWidth is the bounded-queue width ϱ. Default 5.
+	QueueWidth int
+	// Start is the start-state strategy. Default StartID.
+	Start Start
+	// MaxBlockSize bounds overlap matching for StartOverlap. Default 100000.
+	MaxBlockSize int
+	// Theta is the estimated fraction of records showing a transformation's
+	// effect (drives sampling sizes). Default 0.1.
+	Theta float64
+	// Rho is the sampling confidence level. Default 0.95.
+	Rho float64
+	// Seed drives all sampling; equal seeds give equal explanations.
+	Seed int64
+	// MaxExpansions caps search-state expansions; 0 = unlimited.
+	MaxExpansions int
+	// ExtraMetas extends the built-in meta-function library with
+	// domain-specific families (see Meta).
+	ExtraMetas []Meta
+}
+
+// DefaultOptions returns the paper's robust Hid configuration
+// (β=2, ϱ=5, α=0.5, θ=0.1, ρ=0.95).
+func DefaultOptions() Options {
+	return fromSearch(search.DefaultOptions())
+}
+
+// OverlapOptions returns the paper's fast greedy Hs configuration
+// (overlap start, β=1, ϱ=1).
+func OverlapOptions() Options {
+	return fromSearch(search.OverlapOptions())
+}
+
+func fromSearch(o search.Options) Options {
+	return Options{
+		Alpha:        o.Alpha,
+		Beta:         o.Beta,
+		QueueWidth:   o.QueueWidth,
+		Start:        o.Start,
+		MaxBlockSize: o.MaxBlockSize,
+		Theta:        o.Induce.Theta,
+		Rho:          o.Induce.Rho,
+	}
+}
+
+func (o Options) toSearch() search.Options {
+	so := search.DefaultOptions()
+	if o.Alpha > 0 {
+		so.Alpha = o.Alpha
+	}
+	if o.Beta > 0 {
+		so.Beta = o.Beta
+	}
+	if o.QueueWidth > 0 {
+		so.QueueWidth = o.QueueWidth
+	}
+	so.Start = o.Start
+	if o.MaxBlockSize > 0 {
+		so.MaxBlockSize = o.MaxBlockSize
+	}
+	if o.Theta > 0 {
+		so.Induce.Theta = o.Theta
+	}
+	if o.Rho > 0 {
+		so.Induce.Rho = o.Rho
+	}
+	so.Seed = o.Seed
+	so.MaxExpansions = o.MaxExpansions
+	return so
+}
+
+// Result is a finished explanation run.
+type Result struct {
+	// Explanation holds the learned functions, core alignment, deletions
+	// and insertions.
+	Explanation *Explanation
+	// Cost is the explanation's MDL cost under the configured α.
+	Cost float64
+	// TrivialCost is the cost of explaining everything as delete+insert;
+	// Cost/TrivialCost measures how much structure was found.
+	TrivialCost float64
+	// Stats reports search effort.
+	Stats Stats
+
+	alpha float64
+}
+
+// Explain runs Affidavit on two snapshots sharing a schema.
+func Explain(source, target *Table, opts Options) (*Result, error) {
+	metas := metafunc.DefaultMetas()
+	metas = append(metas, opts.ExtraMetas...)
+	inst, err := delta.NewInstance(source, target, metas)
+	if err != nil {
+		return nil, err
+	}
+	so := opts.toSearch()
+	res, err := search.Run(inst, so)
+	if err != nil {
+		return nil, err
+	}
+	cm := delta.CostModel{Alpha: so.Alpha}
+	return &Result{
+		Explanation: res.Explanation,
+		Cost:        res.Cost,
+		TrivialCost: cm.Cost(delta.Trivial(inst)),
+		Stats:       res.Stats,
+		alpha:       so.Alpha,
+	}, nil
+}
+
+// ExplainCSV reads two CSV files (header row = schema) and explains their
+// differences.
+func ExplainCSV(sourcePath, targetPath string, opts Options) (*Result, error) {
+	src, err := table.ReadCSVFile(sourcePath)
+	if err != nil {
+		return nil, fmt.Errorf("affidavit: reading source: %w", err)
+	}
+	tgt, err := table.ReadCSVFile(targetPath)
+	if err != nil {
+		return nil, fmt.Errorf("affidavit: reading target: %w", err)
+	}
+	return Explain(src, tgt, opts)
+}
+
+// Report renders the explanation as a human-readable text report.
+func (r *Result) Report() string {
+	return report.Text(r.Explanation, delta.CostModel{Alpha: r.alpha})
+}
+
+// Diff renders up to limit aligned records as before/after views
+// (limit ≤ 0 renders all).
+func (r *Result) Diff(limit int) string {
+	return report.Diff(r.Explanation, limit)
+}
+
+// SQL renders an executable migration script for the named table: one
+// generalising UPDATE per transformed attribute plus per-record DELETEs and
+// INSERTs for the noise.
+func (r *Result) SQL(tableName string) string {
+	return report.SQL(r.Explanation, tableName)
+}
+
+// Transform applies the learned attribute functions to a record — including
+// records that were not part of either snapshot, which is what makes an
+// explanation more useful than a diff.
+func (r *Result) Transform(rec Record) Record {
+	return r.Explanation.Funcs.Apply(rec)
+}
+
+// SchemaMatch is an alignment of renamed/reordered target attributes to
+// source attributes.
+type SchemaMatch = schemamatch.Match
+
+// ExplainRenamed explains snapshots whose target schema was renamed or
+// reordered (the paper's future-work problem variant): attributes are first
+// matched by value-distribution similarity, the target is rewritten into
+// the source schema, and the ordinary search runs on the aligned pair.
+func ExplainRenamed(source, target *Table, opts Options) (*Result, *SchemaMatch, error) {
+	m, err := schemamatch.Attributes(source, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	aligned, err := m.AlignTarget(source, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Explain(source, aligned, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
+
+// NewSchema builds a schema from attribute names.
+func NewSchema(attrs ...string) (*Schema, error) { return table.NewSchema(attrs...) }
+
+// NewTable builds a table from a schema and rows.
+func NewTable(s *Schema, rows []Record) (*Table, error) { return table.FromRows(s, rows) }
+
+// ReadCSV parses a snapshot from CSV (first row = header).
+func ReadCSV(r io.Reader) (*Table, error) { return table.ReadCSV(r) }
+
+// ReadCSVFile parses a snapshot from a CSV file.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }

@@ -1,0 +1,153 @@
+package affidavit_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"affidavit"
+	"affidavit/internal/fixture"
+)
+
+func figure1Tables(t *testing.T) (*affidavit.Table, *affidavit.Table) {
+	t.Helper()
+	s, err := affidavit.NewSchema("ID1", "ID2", "Date", "Type", "Val", "Unit", "Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := affidavit.NewTable(s, fixture.SourceRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := affidavit.NewTable(s, fixture.TargetRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, tgt
+}
+
+func TestExplainRunningExample(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 1
+	res, err := affidavit.Explain(src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != fixture.ReferenceCost {
+		t.Errorf("cost = %v, want %d", res.Cost, fixture.ReferenceCost)
+	}
+	if res.TrivialCost != fixture.TrivialCost {
+		t.Errorf("trivial cost = %v, want %d", res.TrivialCost, fixture.TrivialCost)
+	}
+	if res.Explanation.CoreSize() != 13 {
+		t.Errorf("core = %d, want 13", res.Explanation.CoreSize())
+	}
+	if !strings.Contains(res.Report(), "x ↦ x / 1000") {
+		t.Error("report missing learned division")
+	}
+	if !strings.Contains(res.SQL("t"), "UPDATE") {
+		t.Error("SQL export empty")
+	}
+	if !strings.Contains(res.Diff(1), "↦") {
+		t.Error("diff view empty")
+	}
+}
+
+// TestTransformGeneralises: the learned explanation must transform an
+// unseen record — the paper's "additional full system conversions can be
+// avoided" benefit.
+func TestTransformGeneralises(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 1
+	res, err := affidavit.Explain(src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseen := affidavit.Record{"S99", "0099", "20190101", "G", "123000", "USD", "NEWCO"}
+	got := res.Transform(unseen)
+	// Val ÷ 1000, Unit constant; unseen keys pass through the mappings.
+	if got[4] != "123" {
+		t.Errorf("Val = %q, want 123", got[4])
+	}
+	if got[5] != "k $" {
+		t.Errorf("Unit = %q, want k $", got[5])
+	}
+	if got[3] != "G" || got[6] != "NEWCO" {
+		t.Error("identity attributes altered")
+	}
+}
+
+func TestExplainCSVRoundTrip(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	dir := t.TempDir()
+	sp := filepath.Join(dir, "source.csv")
+	tp := filepath.Join(dir, "target.csv")
+	writeCSV(t, sp, src)
+	writeCSV(t, tp, tgt)
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 1
+	res, err := affidavit.ExplainCSV(sp, tp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != fixture.ReferenceCost {
+		t.Errorf("cost via CSV = %v, want %d", res.Cost, fixture.ReferenceCost)
+	}
+	if _, err := affidavit.ExplainCSV("/missing.csv", tp, opts); err == nil {
+		t.Error("missing source accepted")
+	}
+	if _, err := affidavit.ExplainCSV(sp, "/missing.csv", opts); err == nil {
+		t.Error("missing target accepted")
+	}
+}
+
+func writeCSV(t *testing.T, path string, tab *affidavit.Table) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tab.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionDefaultsFill(t *testing.T) {
+	// Zero options must behave like DefaultOptions (not crash on β=0).
+	src, tgt := figure1Tables(t)
+	res, err := affidavit.Explain(src, tgt, affidavit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > fixture.TrivialCost {
+		t.Errorf("zero-options run produced cost %v above trivial", res.Cost)
+	}
+}
+
+func TestOverlapOptionsShape(t *testing.T) {
+	o := affidavit.OverlapOptions()
+	if o.Start != affidavit.StartOverlap || o.Beta != 1 || o.QueueWidth != 1 {
+		t.Errorf("OverlapOptions = %+v", o)
+	}
+	d := affidavit.DefaultOptions()
+	if d.Start != affidavit.StartID || d.Beta != 2 || d.QueueWidth != 5 {
+		t.Errorf("DefaultOptions = %+v", d)
+	}
+	if d.Theta != 0.1 || d.Rho != 0.95 || d.Alpha != 0.5 {
+		t.Errorf("statistical defaults wrong: %+v", d)
+	}
+}
+
+func TestExplainSchemaMismatch(t *testing.T) {
+	s1, _ := affidavit.NewSchema("a")
+	s2, _ := affidavit.NewSchema("b")
+	t1, _ := affidavit.NewTable(s1, []affidavit.Record{{"x"}})
+	t2, _ := affidavit.NewTable(s2, []affidavit.Record{{"x"}})
+	if _, err := affidavit.Explain(t1, t2, affidavit.DefaultOptions()); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5), plus ablations over the design choices DESIGN.md calls out.
+//
+// The headline experiments:
+//
+//	BenchmarkFigure1RunningExample — the worked example I1 (cost 77 vs 112)
+//	BenchmarkFigure2SATReduction   — the NP-hardness construction end to end
+//	BenchmarkFigure3Blocking       — blocking refinement (Definition 4.3/4.4)
+//	BenchmarkFigure4SearchTree     — the traced β=2, ϱ=3 search of Figure 4
+//	BenchmarkTable1Induction       — one-example induction over the function library
+//	BenchmarkTable2/...            — dataset × configuration quality grid
+//	BenchmarkFigure5Rows/...       — row scalability on flight-500k (scaled)
+//	BenchmarkFigure6Attrs/...      — attribute scalability
+//	BenchmarkAblation*             — queue width ϱ, branching β, start states, θ
+//
+// Large datasets run at reduced row counts so the suite stays benchable;
+// cmd/table2, cmd/rowscale and cmd/attrscale regenerate the full-size
+// artifacts (see EXPERIMENTS.md).
+package affidavit_test
+
+import (
+	"fmt"
+	"testing"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/datasets"
+	"affidavit/internal/fixture"
+	"affidavit/internal/gen"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/satreduce"
+	"affidavit/internal/search"
+)
+
+func BenchmarkFigure1RunningExample(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts search.Options
+	}{
+		{"Hid", search.DefaultOptions()},
+		{"Hs", search.OverlapOptions()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			inst := fixture.Instance()
+			opts := cfg.opts
+			opts.Seed = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := search.Run(inst, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cost > fixture.TrivialCost {
+					b.Fatalf("cost %v above trivial", res.Cost)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure2SATReduction(b *testing.B) {
+	c := satreduce.Example()
+	for i := 0; i < b.N; i++ {
+		sol, err := satreduce.Solve(c, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Satisfiable {
+			b.Fatal("example must be satisfiable")
+		}
+	}
+}
+
+func BenchmarkFigure3Blocking(b *testing.B) {
+	inst := fixture.Instance()
+	for i := 0; i < b.N; i++ {
+		r := blocking.New(inst).
+			Refine(fixture.Type, metafunc.Identity{}).
+			Refine(fixture.Unit, metafunc.Constant{C: "k $"}).
+			Refine(fixture.Org, metafunc.Identity{})
+		if r.NumBlocks() == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+func BenchmarkFigure4SearchTree(b *testing.B) {
+	inst := fixture.Instance()
+	opts := search.DefaultOptions()
+	opts.Beta = 2
+	opts.QueueWidth = 3
+	opts.Seed = 1
+	for i := 0; i < b.N; i++ {
+		tr := &search.TreeTracer{}
+		o := opts
+		o.Tracer = tr
+		if _, err := search.Run(inst, o); err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Polls()) == 0 {
+			b.Fatal("no trace")
+		}
+	}
+}
+
+func BenchmarkTable1Induction(b *testing.B) {
+	metas := metafunc.DefaultMetas()
+	examples := [][2]string{
+		{"80000", "80"}, {"sap", "SAP"}, {"USD", "k $"}, {"6540", "9.8"},
+		{"99991231", "20180701"}, {"00042", "42"}, {"42", "ID-42"},
+		{"100 USD", "100 EUR"}, {"same", "same"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ex := range examples {
+			metafunc.InduceAll(metas, ex[0], ex[1])
+		}
+	}
+}
+
+// benchRows caps dataset sizes for the Table 2 benchmark grid.
+func benchRows(name string, rows int) int {
+	if rows > 5000 {
+		return 5000
+	}
+	return rows
+}
+
+func BenchmarkTable2(b *testing.B) {
+	setting := gen.Setting{Eta: 0.3, Tau: 0.3}
+	for _, spec := range datasets.All() {
+		if spec.Name == "flight-500k" {
+			continue // Figure 5's dataset
+		}
+		for _, cfg := range []struct {
+			name string
+			opts search.Options
+		}{
+			{"Hs", search.OverlapOptions()},
+			{"Hid", search.DefaultOptions()},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, cfg.name), func(b *testing.B) {
+				tab, err := spec.BuildRows(benchRows(spec.Name, spec.Rows), 13)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := gen.Generate(tab, gen.Config{Setting: setting, Seed: 13})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := cfg.opts
+				opts.Seed = 13
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := search.Run(p.Inst, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFigure5Rows(b *testing.B) {
+	ds, err := datasets.Get("flight-500k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const baseRows = 20000 // paper: 500000; cmd/rowscale runs full size
+	tab, err := ds.BuildRows(baseRows, 38)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pct := range []int{20, 40, 60, 80, 100} {
+		b.Run(fmt.Sprintf("scale%d", pct), func(b *testing.B) {
+			p := base
+			if pct < 100 {
+				var err error
+				p, err = base.Scale(float64(pct)/100, int64(pct))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			opts := search.DefaultOptions()
+			opts.Seed = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure6Attrs(b *testing.B) {
+	rows := map[string]int{"fd-red-30": 2000, "plista": 1000, "flight-1k": 1000, "uniprot": 1000}
+	for _, name := range []string{"fd-red-30", "plista", "flight-1k", "uniprot"} {
+		b.Run(name, func(b *testing.B) {
+			ds, err := datasets.Get(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab, err := ds.BuildRows(rows[name], 21)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 21})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := search.DefaultOptions()
+			opts.Seed = 21
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ablationProblem is a mid-sized instance shared by the ablation benches.
+func ablationProblem(b *testing.B) *gen.Problem {
+	b.Helper()
+	ds, err := datasets.Get("ncvoter-1k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := ds.Build(99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.5, Tau: 0.5}, Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkAblationQueueWidth(b *testing.B) {
+	p := ablationProblem(b)
+	for _, rho := range []int{1, 2, 5, 8} {
+		b.Run(fmt.Sprintf("rho%d", rho), func(b *testing.B) {
+			opts := search.DefaultOptions()
+			opts.QueueWidth = rho
+			opts.Seed = 5
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBranching(b *testing.B) {
+	p := ablationProblem(b)
+	for _, beta := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("beta%d", beta), func(b *testing.B) {
+			opts := search.DefaultOptions()
+			opts.Beta = beta
+			opts.Seed = 5
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationStart(b *testing.B) {
+	p := ablationProblem(b)
+	for _, start := range []search.StartStrategy{search.StartEmpty, search.StartID, search.StartOverlap} {
+		b.Run(start.String(), func(b *testing.B) {
+			opts := search.DefaultOptions()
+			opts.Start = start
+			opts.Seed = 5
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTheta(b *testing.B) {
+	p := ablationProblem(b)
+	for _, theta := range []float64{0.05, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("theta%v", theta), func(b *testing.B) {
+			opts := search.DefaultOptions()
+			opts.Induce.Theta = theta
+			opts.Seed = 5
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Run(p.Inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Command attrscale regenerates the paper's Figure 6: Hid runtimes at
+// (η=0.3, τ=0.3), normalised by record count, against the attribute counts
+// of the four widest datasets (fd-red-30, plista, flight-1k, uniprot). The
+// expected shape is roughly linear growth of per-record time in |A|.
+//
+// Usage:
+//
+//	attrscale                       # fd-red-30 scaled to 25000 rows
+//	attrscale -fd-red-rows 250000   # the paper's full size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"affidavit/internal/eval"
+	"affidavit/internal/search"
+)
+
+func main() {
+	var (
+		fdRows = flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	points, err := eval.Figure6(eval.Figure6Spec{
+		Rows: map[string]int{"fd-red-30": *fdRows},
+		Seed: *seed,
+		Opts: search.DefaultOptions(),
+		Progress: func(p eval.AttrPoint) {
+			fmt.Fprintf(os.Stderr, "done %-12s |A|=%d: %v\n",
+				p.Dataset, p.Attrs, p.Time.Round(1e6))
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attrscale:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(eval.RenderFigure6(points))
+}

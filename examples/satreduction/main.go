@@ -1,0 +1,61 @@
+// Satreduction demonstrates the paper's NP-hardness construction (Theorem
+// 3.12, Figure 2): a 3-SAT formula is reduced to an Explain-Table-Delta
+// instance whose optimal explanation reveals whether the formula is
+// satisfiable — the formula has a model exactly when no source record needs
+// to be deleted, and the model can be read off the optimal attribute
+// functions (id ⇒ true, negation ⇒ false).
+//
+// Run with: go run ./examples/satreduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"affidavit/internal/satreduce"
+)
+
+func main() {
+	// The Figure 2 example: c = (v1 ∨ v2 ∨ v3) ∧ (¬v1 ∨ v4) ∧ ¬v3.
+	c := satreduce.Example()
+	fmt.Println("formula: (v1 ∨ v2 ∨ v3) ∧ (¬v1 ∨ v4) ∧ ¬v3")
+
+	inst, err := satreduce.Reduce(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced instance: %d source records (one per clause), %d target records (one per clause model), %d attributes\n",
+		inst.Source.Len(), inst.Target.Len(), inst.NumAttrs())
+	fmt.Println("\nsource records:")
+	for i := 0; i < inst.Source.Len(); i++ {
+		fmt.Printf("  %v\n", inst.Source.Record(i))
+	}
+
+	sol, err := satreduce.Solve(c, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal explanation: cost %g, deleted sources %d, unexplained targets %d\n",
+		sol.Cost, len(sol.Explanation.Deleted), len(sol.Explanation.Inserted))
+	fmt.Printf("satisfiable: %v\n", sol.Satisfiable)
+	if sol.Satisfiable {
+		fmt.Print("model extracted from the attribute functions: ")
+		for v, val := range sol.Model {
+			fmt.Printf("v%d=%v ", v+1, val)
+		}
+		fmt.Println()
+		fmt.Printf("model checks out: %v\n", c.Check(sol.Model))
+	}
+
+	// Contrast with an unsatisfiable formula.
+	unsat := satreduce.CNF{
+		NumVars: 1,
+		Clauses: []satreduce.Clause{{{Var: 1}}, {{Var: 1, Neg: true}}},
+	}
+	us, err := satreduce.Solve(unsat, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n(v1) ∧ (¬v1): satisfiable = %v — every explanation must delete a clause record (deleted = %d)\n",
+		us.Satisfiable, len(us.Explanation.Deleted))
+}

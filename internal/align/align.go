@@ -1,0 +1,186 @@
+// Package align provides the record-alignment primitives the search builds
+// on: random alignments that respect a blocking result, greedy value
+// mappings induced from an alignment (the Hд probe of Algorithm 1 and the
+// ⊡-resolution step of Finalize), and the overlap-score a-priori matcher
+// that determines the Hs start state (Section 4.2).
+package align
+
+import (
+	"math/rand"
+	"sort"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+)
+
+// Pair aligns source record S with target record T.
+type Pair struct {
+	S, T int32
+}
+
+// Random samples a random alignment of all records that respects Φ_H: in
+// each block, min(|ϕS|, |ϕT|) pairs are drawn uniformly without
+// replacement.
+func Random(r *blocking.Result, rng *rand.Rand) []Pair {
+	var pairs []Pair
+	for _, b := range r.Blocks() {
+		if !b.Mixed() {
+			continue
+		}
+		n := len(b.Src)
+		if len(b.Tgt) < n {
+			n = len(b.Tgt)
+		}
+		src := append([]int32(nil), b.Src...)
+		tgt := append([]int32(nil), b.Tgt...)
+		rng.Shuffle(len(src), func(i, j int) { src[i], src[j] = src[j], src[i] })
+		rng.Shuffle(len(tgt), func(i, j int) { tgt[i], tgt[j] = tgt[j], tgt[i] })
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, Pair{S: src[i], T: tgt[i]})
+		}
+	}
+	return pairs
+}
+
+// GreedyMap builds a value mapping for attribute attr from an alignment:
+// each source value maps to the target value it co-occurs with most often.
+// Ties break deterministically towards the lexicographically smaller target
+// value so that equal seeds give equal searches.
+func GreedyMap(inst *delta.Instance, pairs []Pair, attr int) *metafunc.Mapping {
+	co := make(map[string]map[string]int)
+	for _, p := range pairs {
+		sv := inst.Source.Value(int(p.S), attr)
+		tv := inst.Target.Value(int(p.T), attr)
+		m, ok := co[sv]
+		if !ok {
+			m = make(map[string]int)
+			co[sv] = m
+		}
+		m[tv]++
+	}
+	entries := make(map[string]string, len(co))
+	for sv, m := range co {
+		best, bestN := "", -1
+		for tv, n := range m {
+			if n > bestN || (n == bestN && tv < best) {
+				best, bestN = tv, n
+			}
+		}
+		entries[sv] = best
+	}
+	return metafunc.NewMapping(entries)
+}
+
+// Overlap holds the a-priori matching of Section 4.2: for every source
+// record the target record with the highest attribute-overlap score.
+type Overlap struct {
+	// BestPairs[i] pairs source i with its best target; sources that share
+	// no (sufficiently rare) value with any target are absent.
+	BestPairs []Pair
+	// Scores[i] is the overlap score of BestPairs[i].
+	Scores []int
+}
+
+// ComputeOverlap scores record pairs by counting attributes on which they
+// agree, considering only pairs that share at least one value whose
+// source-group × target-group product does not exceed maxPairs (the paper's
+// configurable block-size threshold; Section 4.2 uses 100000).
+func ComputeOverlap(inst *delta.Instance, maxPairs int) *Overlap {
+	nT := inst.Target.Len()
+	scores := make(map[int64]int32)
+	for a := 0; a < inst.NumAttrs(); a++ {
+		srcByVal := make(map[string][]int32)
+		for s := 0; s < inst.Source.Len(); s++ {
+			v := inst.Source.Value(s, a)
+			srcByVal[v] = append(srcByVal[v], int32(s))
+		}
+		tgtByVal := make(map[string][]int32)
+		for t := 0; t < nT; t++ {
+			v := inst.Target.Value(t, a)
+			tgtByVal[v] = append(tgtByVal[v], int32(t))
+		}
+		for v, ss := range srcByVal {
+			ts, ok := tgtByVal[v]
+			if !ok {
+				continue
+			}
+			if len(ss)*len(ts) > maxPairs {
+				continue // too frequent a value: skip this overlap
+			}
+			for _, s := range ss {
+				base := int64(s) * int64(nT)
+				for _, t := range ts {
+					scores[base+int64(t)]++
+				}
+			}
+		}
+	}
+	ov := &Overlap{}
+	best := make(map[int32]Pair)
+	bestScore := make(map[int32]int32)
+	for key, sc := range scores {
+		s := int32(key / int64(nT))
+		t := int32(key % int64(nT))
+		cur, seen := bestScore[s]
+		// Deterministic tie-break towards the smaller target index.
+		if !seen || sc > cur || (sc == cur && t < best[s].T) {
+			bestScore[s] = sc
+			best[s] = Pair{S: s, T: t}
+		}
+	}
+	srcs := make([]int32, 0, len(best))
+	for s := range best {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		ov.BestPairs = append(ov.BestPairs, best[s])
+		ov.Scores = append(ov.Scores, int(bestScore[s]))
+	}
+	return ov
+}
+
+// StartAttrs selects A^id for the Hs start state: k′ is the modal overlap
+// score among the best pairs, and the k′ attributes whose values overlap
+// most frequently on those pairs are assumed unchanged. Returns nil when no
+// pairs scored (the caller then falls back to the all-undecided state).
+func (ov *Overlap) StartAttrs(inst *delta.Instance) []int {
+	if len(ov.BestPairs) == 0 {
+		return nil
+	}
+	freq := make(map[int]int)
+	for _, sc := range ov.Scores {
+		freq[sc]++
+	}
+	kPrime, bestN := 0, -1
+	for sc, n := range freq {
+		if n > bestN || (n == bestN && sc > kPrime) {
+			kPrime, bestN = sc, n
+		}
+	}
+	if kPrime > inst.NumAttrs() {
+		kPrime = inst.NumAttrs()
+	}
+	if kPrime == 0 {
+		return nil
+	}
+	overlapCount := make([]int, inst.NumAttrs())
+	for _, p := range ov.BestPairs {
+		for a := 0; a < inst.NumAttrs(); a++ {
+			if inst.Source.Value(int(p.S), a) == inst.Target.Value(int(p.T), a) {
+				overlapCount[a]++
+			}
+		}
+	}
+	order := make([]int, inst.NumAttrs())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return overlapCount[order[i]] > overlapCount[order[j]]
+	})
+	attrs := append([]int(nil), order[:kPrime]...)
+	sort.Ints(attrs)
+	return attrs
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"sort"
+
+	"affidavit/internal/align"
+	"affidavit/internal/delta"
+)
+
+// GreedyMatch is a similarity-only record linker in the spirit of generic
+// unsupervised entity-resolution suites: it scores pairs by attribute
+// overlap (like the Hs bootstrap) and then greedily matches best-first
+// without learning any transformation function. It represents the "fuzzy
+// similarity, no functions" class of Related-Work systems; the paper's
+// point is that such matchers cannot explain systematically transformed
+// attributes.
+func GreedyMatch(inst *delta.Instance, maxPairs int) []align.Pair {
+	ov := align.ComputeOverlap(inst, maxPairs)
+	idx := make([]int, len(ov.BestPairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return ov.Scores[idx[i]] > ov.Scores[idx[j]]
+	})
+	usedS := make(map[int32]bool)
+	usedT := make(map[int32]bool)
+	var out []align.Pair
+	for _, i := range idx {
+		p := ov.BestPairs[i]
+		if usedS[p.S] || usedT[p.T] {
+			continue
+		}
+		usedS[p.S] = true
+		usedT[p.T] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// MatchAccuracy scores a matcher's pairs against a reference alignment,
+// returning the fraction of reference pairs recovered.
+func MatchAccuracy(pairs []align.Pair, refSrc, refTgt []int) float64 {
+	if len(refSrc) == 0 {
+		return 1
+	}
+	want := make(map[int32]int32, len(refSrc))
+	for i := range refSrc {
+		want[int32(refSrc[i])] = int32(refTgt[i])
+	}
+	hit := 0
+	for _, p := range pairs {
+		if t, ok := want[p.S]; ok && t == p.T {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(refSrc))
+}

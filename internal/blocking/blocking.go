@@ -1,0 +1,182 @@
+// Package blocking implements the blocking index ξ_H and blocking result
+// Φ_H of Definitions 4.3–4.4: under a search state, source and target
+// records are grouped by their projection onto the decided attributes, with
+// the decided attribute functions applied to source values during
+// projection. Results refine incrementally — deciding one more attribute
+// splits each existing block — which is how the search extends states
+// without recomputing blocking from scratch.
+package blocking
+
+import (
+	"fmt"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+)
+
+// Block is one ϕ(κ): the source and target records sharing blocking index κ.
+type Block struct {
+	Key string  // κ, rendered as the concatenated decided-attribute values
+	Src []int32 // source record indices
+	Tgt []int32 // target record indices
+}
+
+// Mixed reports whether the block has records on both sides; only mixed
+// blocks can contribute alignment examples.
+func (b *Block) Mixed() bool { return len(b.Src) > 0 && len(b.Tgt) > 0 }
+
+// Result is Φ_H plus the record→block maps needed for refinement and for
+// locating the block of a sampled record.
+type Result struct {
+	inst       *delta.Instance
+	blocks     []*Block
+	srcBlockOf []int32
+	tgtBlockOf []int32
+}
+
+// New returns the blocking result of the all-undecided state: a single
+// block holding every record.
+func New(inst *delta.Instance) *Result {
+	b := &Block{Key: ""}
+	b.Src = make([]int32, inst.Source.Len())
+	for i := range b.Src {
+		b.Src[i] = int32(i)
+	}
+	b.Tgt = make([]int32, inst.Target.Len())
+	for i := range b.Tgt {
+		b.Tgt[i] = int32(i)
+	}
+	r := &Result{
+		inst:       inst,
+		blocks:     []*Block{b},
+		srcBlockOf: make([]int32, inst.Source.Len()),
+		tgtBlockOf: make([]int32, inst.Target.Len()),
+	}
+	return r
+}
+
+// Refine returns the blocking result after additionally deciding attribute
+// attr with function f: each block splits by f(source value) on the source
+// side and the raw value on the target side. The receiver is unchanged.
+func (r *Result) Refine(attr int, f metafunc.Func) *Result {
+	nr := &Result{
+		inst:       r.inst,
+		srcBlockOf: make([]int32, len(r.srcBlockOf)),
+		tgtBlockOf: make([]int32, len(r.tgtBlockOf)),
+	}
+	// Value-level memoisation: attributes typically have far fewer distinct
+	// values than records, and Func.Apply can be non-trivial (decimal math).
+	applied := make(map[string]string)
+	apply := func(v string) string {
+		if out, ok := applied[v]; ok {
+			return out
+		}
+		out := f.Apply(v)
+		applied[v] = out
+		return out
+	}
+	for _, b := range r.blocks {
+		sub := make(map[string]*Block)
+		get := func(v string) *Block {
+			nb, ok := sub[v]
+			if !ok {
+				nb = &Block{Key: b.Key + quote(v)}
+				sub[v] = nb
+				nr.blocks = append(nr.blocks, nb)
+			}
+			return nb
+		}
+		for _, s := range b.Src {
+			v := apply(r.inst.Source.Value(int(s), attr))
+			nb := get(v)
+			nb.Src = append(nb.Src, s)
+		}
+		for _, t := range b.Tgt {
+			v := r.inst.Target.Value(int(t), attr)
+			nb := get(v)
+			nb.Tgt = append(nb.Tgt, t)
+		}
+	}
+	for i, b := range nr.blocks {
+		for _, s := range b.Src {
+			nr.srcBlockOf[s] = int32(i)
+		}
+		for _, t := range b.Tgt {
+			nr.tgtBlockOf[t] = int32(i)
+		}
+	}
+	return nr
+}
+
+func quote(s string) string { return fmt.Sprintf("%d:%s|", len(s), s) }
+
+// Instance returns the problem instance the result was built over.
+func (r *Result) Instance() *delta.Instance { return r.inst }
+
+// Blocks returns all blocks; callers must not mutate them.
+func (r *Result) Blocks() []*Block { return r.blocks }
+
+// NumBlocks returns |Ξ_H|.
+func (r *Result) NumBlocks() int { return len(r.blocks) }
+
+// MixedBlocks returns the blocks containing both source and target records.
+func (r *Result) MixedBlocks() []*Block {
+	var out []*Block
+	for _, b := range r.blocks {
+		if b.Mixed() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BlockOfSource returns the block containing source record s.
+func (r *Result) BlockOfSource(s int) *Block { return r.blocks[r.srcBlockOf[s]] }
+
+// BlockOfTarget returns the block containing target record t.
+func (r *Result) BlockOfTarget(t int) *Block { return r.blocks[r.tgtBlockOf[t]] }
+
+// TargetSurplus computes c_t(H) = Σ_{|ϕT(κ)| > |ϕS(κ)|} |ϕT(κ)| − |ϕS(κ)|,
+// the lower bound on |T^{E+}| (Section 4.5).
+func (r *Result) TargetSurplus() int {
+	sum := 0
+	for _, b := range r.blocks {
+		if d := len(b.Tgt) - len(b.Src); d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// SourceSurplus computes c_s(H), the lower bound on |S^{E−}|.
+func (r *Result) SourceSurplus() int {
+	sum := 0
+	for _, b := range r.blocks {
+		if d := len(b.Src) - len(b.Tgt); d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// Indeterminacy estimates how undetermined attribute attr still is: the
+// maximum number of distinct source values of attr over all mixed blocks —
+// an upper bound for the number of source values that must be considered as
+// the origin of a target value (Section 4.3 "Extending Search States").
+func (r *Result) Indeterminacy(attr int) int {
+	max := 0
+	distinct := make(map[string]struct{})
+	for _, b := range r.blocks {
+		if !b.Mixed() {
+			continue
+		}
+		clear(distinct)
+		for _, s := range b.Src {
+			distinct[r.inst.Source.Value(int(s), attr)] = struct{}{}
+		}
+		if len(distinct) > max {
+			max = len(distinct)
+		}
+	}
+	return max
+}

@@ -1,0 +1,101 @@
+package blocking_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/delta"
+	"affidavit/internal/fixture"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+// Property: refining on the same attributes in any order produces the same
+// partition (blocking is order-independent), verified via the surplus
+// statistics and block-count invariants.
+func TestQuickRefinementOrderIndependent(t *testing.T) {
+	inst := fixture.Instance()
+	attrs := []int{fixture.Type, fixture.Org, fixture.Unit, fixture.Date}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(attrs))
+		a := blocking.New(inst)
+		b := blocking.New(inst)
+		for i := range attrs {
+			a = a.Refine(attrs[i], metafunc.Identity{})
+			b = b.Refine(attrs[perm[i]], metafunc.Identity{})
+		}
+		return a.NumBlocks() == b.NumBlocks() &&
+			a.TargetSurplus() == b.TargetSurplus() &&
+			a.SourceSurplus() == b.SourceSurplus()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: refinement never merges blocks — block count is nondecreasing
+// and surpluses are nondecreasing (coarser blocking underestimates less).
+func TestQuickRefinementMonotone(t *testing.T) {
+	inst := fixture.Instance()
+	ref := fixture.ReferenceFuncs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := rng.Perm(inst.NumAttrs())
+		r := blocking.New(inst)
+		prevBlocks, prevTS, prevSS := r.NumBlocks(), r.TargetSurplus(), r.SourceSurplus()
+		for _, a := range order {
+			r = r.Refine(a, ref[a])
+			if r.NumBlocks() < prevBlocks || r.TargetSurplus() < prevTS || r.SourceSurplus() < prevSS {
+				return false
+			}
+			prevBlocks, prevTS, prevSS = r.NumBlocks(), r.TargetSurplus(), r.SourceSurplus()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random two-column tables, every record lands in exactly one
+// block and the blocks partition both sides.
+func TestQuickBlocksPartition(t *testing.T) {
+	schema := table.MustSchema("a", "b")
+	f := func(cells []string, split uint8) bool {
+		if len(cells) < 4 {
+			return true
+		}
+		half := int(split)%(len(cells)/2) + 1
+		var srcRows, tgtRows []table.Record
+		for i := 0; i+1 < len(cells) && i < 2*half; i += 2 {
+			srcRows = append(srcRows, table.Record{cells[i], cells[i+1]})
+		}
+		for i := 1; i+1 < len(cells); i += 2 {
+			tgtRows = append(tgtRows, table.Record{cells[i], cells[i+1]})
+		}
+		if len(srcRows) == 0 || len(tgtRows) == 0 {
+			return true
+		}
+		src := table.MustFromRows(schema, srcRows)
+		tgt := table.MustFromRows(schema, tgtRows)
+		inst, err := delta.NewInstance(src, tgt, nil)
+		if err != nil {
+			return false
+		}
+		r := blocking.New(inst).
+			Refine(0, metafunc.Identity{}).
+			Refine(1, metafunc.Identity{})
+		ns, nt := 0, 0
+		for _, b := range r.Blocks() {
+			ns += len(b.Src)
+			nt += len(b.Tgt)
+		}
+		return ns == src.Len() && nt == tgt.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

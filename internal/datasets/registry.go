@@ -1,0 +1,329 @@
+package datasets
+
+import "fmt"
+
+// All returns every dataset spec in Table 2 order, followed by flight-500k
+// (the Figure 5 row-scalability dataset). DataAttrs is always |A| − 1 from
+// Table 2: the workload generator re-adds the artificial key attribute.
+func All() []Spec {
+	return []Spec{
+		iris(), balance(), chess(), abalone(), nursery(), bridges(), echo(),
+		breast(), adult(), ncvoter1k(), letter(), hepatitis(), horse(),
+		fdRed30(), plista(), flight1k(), uniprot(), flight500k(),
+	}
+}
+
+func iris() Spec {
+	return Spec{Name: "iris", Rows: 150, DataAttrs: 5, Columns: []Column{
+		Dec{N: "sepal_length", Min: 4.3, Max: 7.9, Digits: 1},
+		Dec{N: "sepal_width", Min: 2.0, Max: 4.4, Digits: 1},
+		Dec{N: "petal_length", Min: 1.0, Max: 6.9, Digits: 1},
+		Dec{N: "petal_width", Min: 0.1, Max: 2.5, Digits: 1},
+		Cat{N: "class", Vals: []string{"setosa", "versicolor", "virginica"}},
+	}}
+}
+
+func balance() Spec {
+	return Spec{Name: "balance", Rows: 625, DataAttrs: 5, Columns: []Column{
+		Cat{N: "class", Vals: []string{"L", "B", "R"}},
+		Int{N: "left_weight", Min: 1, Max: 5},
+		Int{N: "left_distance", Min: 1, Max: 5},
+		Int{N: "right_weight", Min: 1, Max: 5},
+		Int{N: "right_distance", Min: 1, Max: 5},
+	}}
+}
+
+func chess() Spec {
+	files := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	depth := make([]string, 0, 18)
+	for i := 0; i < 17; i++ {
+		depth = append(depth, fmt.Sprintf("d%d", i))
+	}
+	depth = append(depth, "draw")
+	return Spec{Name: "chess", Rows: 28056, DataAttrs: 7, Columns: []Column{
+		Cat{N: "wk_file", Vals: files},
+		Int{N: "wk_rank", Min: 1, Max: 8},
+		Cat{N: "wr_file", Vals: files},
+		Int{N: "wr_rank", Min: 1, Max: 8},
+		Cat{N: "bk_file", Vals: files},
+		Int{N: "bk_rank", Min: 1, Max: 8},
+		Cat{N: "depth", Vals: depth},
+	}}
+}
+
+func abalone() Spec {
+	return Spec{Name: "abalone", Rows: 4177, DataAttrs: 8, Columns: []Column{
+		Cat{N: "sex", Vals: []string{"M", "F", "I"}},
+		Dec{N: "length", Min: 0.075, Max: 0.815, Digits: 3},
+		Dec{N: "diameter", Min: 0.055, Max: 0.65, Digits: 3},
+		Dec{N: "height", Min: 0.01, Max: 0.25, Digits: 3},
+		Dec{N: "whole_weight", Min: 0.002, Max: 2.8, Digits: 2},
+		Dec{N: "shucked_weight", Min: 0.001, Max: 1.4, Digits: 2},
+		Dec{N: "shell_weight", Min: 0.0015, Max: 1.0, Digits: 2},
+		Int{N: "rings", Min: 1, Max: 29},
+	}}
+}
+
+func nursery() Spec {
+	return Spec{Name: "nursery", Rows: 12960, DataAttrs: 9, Columns: []Column{
+		Cat{N: "parents", Vals: []string{"usual", "pretentious", "great_pret"}},
+		Cat{N: "has_nurs", Vals: []string{"proper", "less_proper", "improper", "critical", "very_crit"}},
+		Cat{N: "form", Vals: []string{"complete", "completed", "incomplete", "foster"}},
+		Cat{N: "children", Vals: []string{"1", "2", "3", "more"}},
+		Cat{N: "housing", Vals: []string{"convenient", "less_conv", "critical"}},
+		Cat{N: "finance", Vals: []string{"convenient", "inconv"}},
+		Cat{N: "social", Vals: []string{"nonprob", "slightly_prob", "problematic"}},
+		Cat{N: "health", Vals: []string{"recommended", "priority", "not_recom"}},
+		Cat{N: "class", Vals: []string{"not_recom", "recommend", "very_recom", "priority", "spec_prior"}},
+	}}
+}
+
+func bridges() Spec {
+	return Spec{Name: "bridges", Rows: 108, DataAttrs: 9, Columns: []Column{
+		Cat{N: "river", Vals: []string{"A", "M", "O"}},
+		Int{N: "location", Min: 1, Max: 52},
+		Int{N: "erected", Min: 1850, Max: 1899},
+		Cat{N: "purpose", Vals: []string{"WALK", "AQUEDUCT", "RR", "HIGHWAY"}},
+		Int{N: "lanes", Min: 1, Max: 6},
+		Cat{N: "clear_g", Vals: []string{"N", "G"}},
+		Cat{N: "t_or_d", Vals: []string{"THROUGH", "DECK"}},
+		Cat{N: "material", Vals: []string{"WOOD", "IRON", "STEEL"}},
+		Cat{N: "span", Vals: []string{"SHORT", "MEDIUM", "LONG"}},
+	}}
+}
+
+func echo() Spec {
+	return Spec{Name: "echo", Rows: 132, DataAttrs: 9, Columns: []Column{
+		Int{N: "survival_months", Min: 0, Max: 57},
+		Cat{N: "alive", Vals: []string{"0", "1"}},
+		Int{N: "age", Min: 35, Max: 86},
+		Cat{N: "pericardial", Vals: []string{"0", "1"}},
+		Dec{N: "fractional_short", Min: 0.01, Max: 0.61, Digits: 2},
+		Dec{N: "epss", Min: 0, Max: 4, Digits: 1},
+		Dec{N: "lvdd", Min: 3.1, Max: 6.9, Digits: 1},
+		Int{N: "wallmotion_score", Min: 2, Max: 39},
+		Dec{N: "wallmotion_index", Min: 1, Max: 3, Digits: 1},
+	}}
+}
+
+func breast() Spec {
+	cols := []Column{}
+	for _, n := range []string{"clump_thickness", "cell_size", "cell_shape",
+		"adhesion", "epithelial_size", "bare_nuclei", "bland_chromatin",
+		"normal_nucleoli", "mitoses"} {
+		cols = append(cols, Int{N: n, Min: 1, Max: 10})
+	}
+	cols = append(cols, Cat{N: "class", Vals: []string{"2", "4"}})
+	return Spec{Name: "breast", Rows: 699, DataAttrs: 10, Columns: cols}
+}
+
+func adult() Spec {
+	return Spec{Name: "adult", Rows: 48842, DataAttrs: 14, Columns: []Column{
+		Int{N: "age", Min: 17, Max: 90},
+		Cat{N: "workclass", Vals: []string{"Private", "Self-emp-not-inc", "Self-emp-inc",
+			"Federal-gov", "Local-gov", "State-gov", "Without-pay", "Never-worked"}},
+		Int{N: "fnlwgt", Min: 12285, Max: 32285},
+		Word{N: "education", Pool: 16, Len: 7},
+		Int{N: "education_num", Min: 1, Max: 16},
+		Word{N: "marital_status", Pool: 7, Len: 9},
+		Word{N: "occupation", Pool: 14, Len: 8},
+		Cat{N: "relationship", Vals: []string{"Wife", "Own-child", "Husband",
+			"Not-in-family", "Other-relative", "Unmarried"}},
+		Cat{N: "race", Vals: []string{"White", "Asian-Pac-Islander",
+			"Amer-Indian-Eskimo", "Other", "Black"}},
+		Cat{N: "sex", Vals: []string{"Female", "Male"}},
+		Int{N: "capital_gain", Min: 0, Max: 9999},
+		Int{N: "capital_loss", Min: 0, Max: 999},
+		Int{N: "hours_per_week", Min: 1, Max: 99},
+		Word{N: "native_country", Pool: 41, Len: 8},
+	}}
+}
+
+func ncvoter1k() Spec {
+	return Spec{Name: "ncvoter-1k", Rows: 1000, DataAttrs: 15, Columns: []Column{
+		Word{N: "last_name", Pool: 320, Len: 7},
+		Word{N: "first_name", Pool: 250, Len: 6},
+		Sparse{Col: Word{N: "middle_name", Pool: 180, Len: 6}, P: 0.2},
+		Word{N: "city", Pool: 60, Len: 9},
+		Cat{N: "state", Vals: []string{"NC"}},
+		Code{N: "zip", Prefix: "27", Pool: 80, Width: 3},
+		Cat{N: "party", Vals: []string{"DEM", "REP", "UNA"}},
+		Cat{N: "gender", Vals: []string{"F", "M"}},
+		Int{N: "age", Min: 18, Max: 99},
+		Word{N: "street", Pool: 300, Len: 10},
+		Cat{N: "status", Vals: []string{"ACTIVE", "INACTIVE"}},
+		Code{N: "precinct", Prefix: "P", Pool: 40, Width: 2},
+		Word{N: "county", Pool: 25, Len: 8},
+		Cat{N: "ethnicity", Vals: []string{"NL", "HL", "UN"}},
+		Date{N: "registr_dt", FromY: 2017, ToY: 2017},
+	}}
+}
+
+func letter() Spec {
+	cols := []Column{Cat{N: "lettr", Vals: alphabetUpper()}}
+	for _, n := range []string{"xbox", "ybox", "width", "high", "onpix",
+		"xbar", "ybar", "x2bar", "y2bar", "xybar", "x2ybr", "xy2br",
+		"xege", "xegvy", "yege", "yegvx"} {
+		cols = append(cols, Int{N: n, Min: 0, Max: 15})
+	}
+	return Spec{Name: "letter", Rows: 20000, DataAttrs: 17, Columns: cols}
+}
+
+func alphabetUpper() []string {
+	out := make([]string, 26)
+	for i := range out {
+		out[i] = string(rune('A' + i))
+	}
+	return out
+}
+
+func hepatitis() Spec {
+	cols := []Column{
+		Int{N: "age", Min: 7, Max: 78},
+		Cat{N: "sex", Vals: []string{"male", "female"}},
+	}
+	for _, n := range []string{"steroid", "antivirals", "fatigue", "malaise",
+		"anorexia", "liver_big", "liver_firm", "spleen", "spiders",
+		"ascites", "varices"} {
+		cols = append(cols, Cat{N: n, Vals: []string{"no", "yes"}})
+	}
+	cols = append(cols,
+		Dec{N: "bilirubin", Min: 0.3, Max: 4.0, Digits: 1},
+		Int{N: "alk_phosphate", Min: 26, Max: 95},
+		Int{N: "sgot", Min: 14, Max: 99},
+		Dec{N: "albumin", Min: 2.1, Max: 6.0, Digits: 1},
+		Int{N: "protime", Min: 10, Max: 90},
+	)
+	return Spec{Name: "hepatitis", Rows: 155, DataAttrs: 18, Columns: cols}
+}
+
+func horse() Spec {
+	var cols []Column
+	cols = append(cols,
+		Cat{N: "surgery", Vals: []string{"1", "2"}},
+		Cat{N: "adult", Vals: []string{"1", "2", "9"}},
+		Dec{N: "rectal_temp", Min: 35.4, Max: 40.8, Digits: 1},
+		Int{N: "pulse", Min: 30, Max: 99},
+		Int{N: "respiratory_rate", Min: 8, Max: 96},
+		Int{N: "packed_cell_volume", Min: 23, Max: 75},
+		Dec{N: "total_protein", Min: 3.3, Max: 8.9, Digits: 1},
+	)
+	for i := 0; i < 16; i++ {
+		vals := []string{"1", "2", "3", "4"}[:2+i%3]
+		cols = append(cols, Cat{N: fmt.Sprintf("exam_%02d", i+1), Vals: vals})
+	}
+	cols = append(cols,
+		Cat{N: "outcome", Vals: []string{"lived", "died", "euthanized"}},
+		Cat{N: "surgical_lesion", Vals: []string{"1", "2"}},
+		Code{N: "lesion_site", Prefix: "L", Pool: 60, Width: 2},
+		Cat{N: "cp_data", Vals: []string{"1", "2"}},
+	)
+	return Spec{Name: "horse", Rows: 368, DataAttrs: 27, Columns: cols}
+}
+
+func fdRed30() Spec {
+	var cols []Column
+	for i := 0; i < 10; i++ {
+		cols = append(cols, Int{N: fmt.Sprintf("c%02d", i), Min: 0, Max: 9})
+	}
+	for i := 10; i < 20; i++ {
+		cols = append(cols, Int{N: fmt.Sprintf("c%02d", i), Min: 0, Max: 99})
+	}
+	for i := 20; i < 30; i++ {
+		cols = append(cols, Int{N: fmt.Sprintf("c%02d", i), Min: 0, Max: 999})
+	}
+	return Spec{Name: "fd-red-30", Rows: 250000, DataAttrs: 30, Columns: cols}
+}
+
+func plista() Spec {
+	var cols []Column
+	cols = append(cols,
+		Code{N: "publisher", Prefix: "pub", Pool: 40, Width: 3},
+		Code{N: "item", Prefix: "it", Pool: 300, Width: 5},
+		Int{N: "category", Min: 0, Max: 30},
+		Date{N: "created", FromY: 2013, ToY: 2013},
+	)
+	for i := 0; i < 14; i++ {
+		cols = append(cols, Sparse{
+			Col: Code{N: fmt.Sprintf("kw_%02d", i), Prefix: "k", Pool: 120, Width: 3},
+			P:   0.5,
+		})
+	}
+	for i := 0; i < 12; i++ {
+		cols = append(cols, Cat{N: fmt.Sprintf("flag_%02d", i), Vals: []string{"0", "1"}})
+	}
+	for i := 0; i < 12; i++ {
+		cols = append(cols, Int{N: fmt.Sprintf("cnt_%02d", i), Min: 0, Max: 200})
+	}
+	return Spec{Name: "plista", Rows: 1000, DataAttrs: 42, Columns: cols}
+}
+
+func flightCols(n int) []Column {
+	carriers := []string{"AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9", "HA", "VX", "OO", "EV", "MQ", "US"}
+	var cols []Column
+	cols = append(cols,
+		Cat{N: "carrier", Vals: carriers},
+		Code{N: "flight_num", Prefix: "", Pool: 320, Width: 4},
+		Word{N: "origin", Pool: 50, Len: 3},
+		Word{N: "dest", Pool: 50, Len: 3},
+		Date{N: "flight_date", FromY: 2012, ToY: 2012},
+	)
+	i := 0
+	for len(cols) < n {
+		switch i % 5 {
+		case 0:
+			cols = append(cols, Int{N: fmt.Sprintf("dep_time_%02d", i), Min: 0, Max: 95})
+		case 1:
+			cols = append(cols, Int{N: fmt.Sprintf("delay_%02d", i), Min: -30, Max: 250})
+		case 2:
+			cols = append(cols, Sparse{Col: Cat{N: fmt.Sprintf("status_%02d", i),
+				Vals: []string{"on-time", "delayed", "cancelled", "diverted"}}, P: 0.3})
+		case 3:
+			cols = append(cols, Code{N: fmt.Sprintf("gate_%02d", i), Prefix: "G", Pool: 90, Width: 2})
+		case 4:
+			cols = append(cols, Int{N: fmt.Sprintf("taxi_%02d", i), Min: 1, Max: 120})
+		}
+		i++
+	}
+	return cols
+}
+
+func flight1k() Spec {
+	return Spec{Name: "flight-1k", Rows: 1000, DataAttrs: 74, Columns: flightCols(74)}
+}
+
+func flight500k() Spec {
+	return Spec{Name: "flight-500k", Rows: 500000, DataAttrs: 20, Columns: flightCols(20)}
+}
+
+func uniprot() Spec {
+	var cols []Column
+	cols = append(cols,
+		Code{N: "accession_family", Prefix: "P", Pool: 500, Width: 4},
+		Word{N: "organism", Pool: 100, Len: 12},
+		Word{N: "gene", Pool: 400, Len: 5},
+		Int{N: "length", Min: 50, Max: 600},
+		Date{N: "created", FromY: 2014, ToY: 2014},
+		Date{N: "modified", FromY: 2018, ToY: 2018},
+	)
+	i := 0
+	for len(cols) < 181 {
+		switch i % 6 {
+		case 0:
+			cols = append(cols, Sparse{Col: Word{N: fmt.Sprintf("feature_%03d", i), Pool: 150, Len: 8}, P: 0.6})
+		case 1:
+			cols = append(cols, Cat{N: fmt.Sprintf("evidence_%03d", i),
+				Vals: []string{"ECO:0000269", "ECO:0000303", "ECO:0000305", "ECO:0000250"}})
+		case 2:
+			cols = append(cols, Int{N: fmt.Sprintf("pos_%03d", i), Min: 1, Max: 400})
+		case 3:
+			cols = append(cols, Sparse{Col: Code{N: fmt.Sprintf("xref_%03d", i), Prefix: "DB", Pool: 250, Width: 4}, P: 0.4})
+		case 4:
+			cols = append(cols, Cat{N: fmt.Sprintf("flag_%03d", i), Vals: []string{"yes", "no", "unknown"}})
+		case 5:
+			cols = append(cols, Word{N: fmt.Sprintf("kw_%03d", i), Pool: 80, Len: 9})
+		}
+		i++
+	}
+	return Spec{Name: "uniprot", Rows: 1000, DataAttrs: 181, Columns: cols}
+}

@@ -1,0 +1,215 @@
+// Package delta defines the Explain-Table-Delta problem: problem instances
+// (Def 3.1), explanations (Def 3.2–3.5), explanation construction from an
+// attribute-function tuple (Proposition 3.6), and the minimum-description-
+// length cost model (Def 3.8–3.10).
+package delta
+
+import (
+	"fmt"
+
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+// Instance is a problem instance I = (S, T, A, F): source and target
+// snapshots under a shared schema, plus the meta functions that implicitly
+// describe the candidate function set F.
+type Instance struct {
+	Source *table.Table
+	Target *table.Table
+	Metas  []metafunc.Meta
+}
+
+// NewInstance validates the snapshots share a schema and returns an
+// instance. A nil metas slice defaults to metafunc.DefaultMetas().
+func NewInstance(source, target *table.Table, metas []metafunc.Meta) (*Instance, error) {
+	if !source.Schema().Equal(target.Schema()) {
+		return nil, fmt.Errorf("delta: source and target schemas differ: %v vs %v",
+			source.Schema().Attrs(), target.Schema().Attrs())
+	}
+	if metas == nil {
+		metas = metafunc.DefaultMetas()
+	}
+	return &Instance{Source: source, Target: target, Metas: metas}, nil
+}
+
+// Schema returns the shared schema A.
+func (in *Instance) Schema() *table.Schema { return in.Source.Schema() }
+
+// NumAttrs returns d = |A|.
+func (in *Instance) NumAttrs() int { return in.Source.Schema().Len() }
+
+// Delta returns ∆ = |S| − |T| (Corollary 4.5).
+func (in *Instance) Delta() int { return in.Source.Len() - in.Target.Len() }
+
+// FuncTuple is F^E: one attribute function per attribute, in schema order.
+type FuncTuple []metafunc.Func
+
+// Identity returns the all-identity tuple for d attributes.
+func IdentityTuple(d int) FuncTuple {
+	ft := make(FuncTuple, d)
+	for i := range ft {
+		ft[i] = metafunc.Identity{}
+	}
+	return ft
+}
+
+// Apply computes F^E(s) for one record (Def 3.4).
+func (ft FuncTuple) Apply(r table.Record) table.Record {
+	out := make(table.Record, len(r))
+	for i, v := range r {
+		out[i] = ft[i].Apply(v)
+	}
+	return out
+}
+
+// Params returns L(F^E) = Σ_a ψ(f_a) (Def 3.9).
+func (ft FuncTuple) Params() int {
+	sum := 0
+	for _, f := range ft {
+		sum += f.Params()
+	}
+	return sum
+}
+
+// Clone returns a copy of the tuple.
+func (ft FuncTuple) Clone() FuncTuple { return append(FuncTuple(nil), ft...) }
+
+// Key returns a canonical identity for the tuple.
+func (ft FuncTuple) Key() string {
+	var key string
+	for _, f := range ft {
+		key += "|" + f.Key()
+	}
+	return key
+}
+
+// Explanation is a valid explanation E = (S^{E−}, T^{E+}, F^E) together with
+// the alignment its construction produced: CoreSrc[i] is transformed by
+// Funcs into target record CoreTgt[i].
+type Explanation struct {
+	Inst  *Instance
+	Funcs FuncTuple
+
+	CoreSrc  []int // core S^E, as indices into Inst.Source
+	CoreTgt  []int // core image T^E, aligned pairwise with CoreSrc
+	Deleted  []int // S^{E−}
+	Inserted []int // T^{E+}
+}
+
+// Build constructs a valid explanation from an attribute-function tuple by
+// the procedure of Proposition 3.6: a source record joins the core when its
+// image under the tuple equals a not-yet-claimed target record; ties are
+// broken in source order, making construction deterministic.
+func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
+	if len(funcs) != inst.NumAttrs() {
+		return nil, fmt.Errorf("delta: tuple has %d functions, schema has %d attributes",
+			len(funcs), inst.NumAttrs())
+	}
+	// Multiset index of unclaimed target records.
+	free := make(map[string][]int, inst.Target.Len())
+	for t := 0; t < inst.Target.Len(); t++ {
+		k := inst.Target.Record(t).Key()
+		free[k] = append(free[k], t)
+	}
+	e := &Explanation{Inst: inst, Funcs: funcs.Clone()}
+	for s := 0; s < inst.Source.Len(); s++ {
+		img := funcs.Apply(inst.Source.Record(s))
+		k := img.Key()
+		if q := free[k]; len(q) > 0 {
+			e.CoreSrc = append(e.CoreSrc, s)
+			e.CoreTgt = append(e.CoreTgt, q[0])
+			free[k] = q[1:]
+		} else {
+			e.Deleted = append(e.Deleted, s)
+		}
+	}
+	claimed := make([]bool, inst.Target.Len())
+	for _, t := range e.CoreTgt {
+		claimed[t] = true
+	}
+	for t := 0; t < inst.Target.Len(); t++ {
+		if !claimed[t] {
+			e.Inserted = append(e.Inserted, t)
+		}
+	}
+	return e, nil
+}
+
+// Trivial returns E∅ = (S, T, {id}^d): everything deleted and inserted
+// (Section 3.1). It exists for every instance and costs |A|·|T| at α = 0.5.
+func Trivial(inst *Instance) *Explanation {
+	e := &Explanation{Inst: inst, Funcs: IdentityTuple(inst.NumAttrs())}
+	for s := 0; s < inst.Source.Len(); s++ {
+		e.Deleted = append(e.Deleted, s)
+	}
+	for t := 0; t < inst.Target.Len(); t++ {
+		e.Inserted = append(e.Inserted, t)
+	}
+	return e
+}
+
+// CoreSize returns |S^E| = |T^E|.
+func (e *Explanation) CoreSize() int { return len(e.CoreSrc) }
+
+// Validate checks the validity conditions of Definition 3.5: the core image
+// actually reproduces the claimed targets, the alignment is a bijection, and
+// core/deleted and core-image/inserted partition S and T.
+func (e *Explanation) Validate() error {
+	if len(e.CoreSrc) != len(e.CoreTgt) {
+		return fmt.Errorf("delta: core has %d sources but %d targets", len(e.CoreSrc), len(e.CoreTgt))
+	}
+	if len(e.CoreSrc)+len(e.Deleted) != e.Inst.Source.Len() {
+		return fmt.Errorf("delta: core+deleted = %d, |S| = %d",
+			len(e.CoreSrc)+len(e.Deleted), e.Inst.Source.Len())
+	}
+	if len(e.CoreTgt)+len(e.Inserted) != e.Inst.Target.Len() {
+		return fmt.Errorf("delta: core image+inserted = %d, |T| = %d",
+			len(e.CoreTgt)+len(e.Inserted), e.Inst.Target.Len())
+	}
+	seenS := make(map[int]bool, e.Inst.Source.Len())
+	for _, s := range append(append([]int(nil), e.CoreSrc...), e.Deleted...) {
+		if seenS[s] {
+			return fmt.Errorf("delta: source record %d appears twice", s)
+		}
+		seenS[s] = true
+	}
+	seenT := make(map[int]bool, e.Inst.Target.Len())
+	for _, t := range append(append([]int(nil), e.CoreTgt...), e.Inserted...) {
+		if seenT[t] {
+			return fmt.Errorf("delta: target record %d appears twice", t)
+		}
+		seenT[t] = true
+	}
+	for i, s := range e.CoreSrc {
+		img := e.Funcs.Apply(e.Inst.Source.Record(s))
+		if !img.Equal(e.Inst.Target.Record(e.CoreTgt[i])) {
+			return fmt.Errorf("delta: F(source %d) = %v ≠ target %d = %v",
+				s, img, e.CoreTgt[i], e.Inst.Target.Record(e.CoreTgt[i]))
+		}
+	}
+	return nil
+}
+
+// CostModel carries the cost parameter α ∈ [0,1] of Definition 3.10.
+type CostModel struct {
+	Alpha float64
+}
+
+// DefaultCosts is the paper's standard setting α = 0.5, under which
+// c(E) = L(T^{E+}) + L(F^E).
+var DefaultCosts = CostModel{Alpha: 0.5}
+
+// InsertionLength returns L(T^{E+}) = |A| · |T^{E+}| (Def 3.8).
+func (e *Explanation) InsertionLength() int {
+	return e.Inst.NumAttrs() * len(e.Inserted)
+}
+
+// FunctionLength returns L(F^E) (Def 3.9).
+func (e *Explanation) FunctionLength() int { return e.Funcs.Params() }
+
+// Cost computes c(E) = 2α·L(T^{E+}) + 2(1−α)·L(F^E) (Def 3.10).
+func (cm CostModel) Cost(e *Explanation) float64 {
+	return 2*cm.Alpha*float64(e.InsertionLength()) +
+		2*(1-cm.Alpha)*float64(e.FunctionLength())
+}

@@ -1,0 +1,133 @@
+// Package fixture provides the paper's running example: problem instance
+// I1 = (S1, T1, A1, F1) from Figure 1 and its reference explanation E1.
+// Tests across the repository assert against it, and examples/quickstart
+// walks through it.
+package fixture
+
+import (
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+// Attribute positions in the Figure 1 schema.
+const (
+	ID1 = iota
+	ID2
+	Date
+	Type
+	Val
+	Unit
+	Org
+)
+
+// SourceRows returns the 17 records of snapshot S1.
+func SourceRows() []table.Record {
+	return []table.Record{
+		{"S01", "0000", "20130416", "A", "80000", "USD", "IBM"},
+		{"S02", "0001", "20120128", "A", "180000", "USD", "IBM"},
+		{"S03", "0002", "20130315", "A", "220000", "USD", "IBM"},
+		{"S04", "0003", "20120128", "B", "3780000", "USD", "IBM"},
+		{"S05", "0004", "20120731", "B", "425000", "USD", "IBM"},
+		{"S06", "0005", "20120731", "C", "21000", "USD", "IBM"},
+		{"S07", "0006", "20140503", "C", "422400", "USD", "IBM"},
+		{"S08", "0007", "20140503", "C", "6540", "USD", "SAP"},
+		{"S09", "0008", "20131021", "C", "9800", "USD", "SAP"},
+		{"S10", "0009", "20121125", "C", "0", "USD", "SAP"},
+		{"S11", "0010", "99991231", "D", "65", "USD", "SAP"},
+		{"S12", "0011", "99991231", "D", "180000", "USD", "BASF"},
+		{"S13", "0012", "99991231", "D", "220000", "USD", "BASF"},
+		{"S14", "0013", "20150203", "D", "21000", "USD", "BASF"},
+		{"S15", "0014", "20150213", "D", "65", "USD", "BASF"},
+		{"S16", "0015", "20160807", "E", "80000", "USD", "BASF"},
+		{"S17", "0016", "20161231", "E", "80000", "USD", "BASF"},
+	}
+}
+
+// TargetRows returns the 16 records of snapshot T1.
+func TargetRows() []table.Record {
+	return []table.Record{
+		{"T01", "0000", "99991231", "A", "80", "k $", "IBM"},
+		{"T02", "0001", "20120128", "A", "180", "k $", "IBM"},
+		{"T03", "0002", "20120731", "C", "21", "k $", "IBM"},
+		{"T04", "0003", "20120731", "B", "425", "k $", "IBM"},
+		{"T05", "0004", "20121125", "B", "0.022", "k $", "DAB"},
+		{"T06", "0005", "20130315", "A", "220", "k $", "IBM"},
+		{"T07", "0006", "20130416", "A", "80", "k $", "IBM"},
+		{"T08", "0007", "20131021", "C", "9.8", "k $", "SAP"},
+		{"T09", "0008", "20140503", "C", "422.4", "k $", "IBM"},
+		{"T10", "0009", "20140503", "C", "6.54", "k $", "SAP"},
+		{"T11", "0010", "20150213", "D", "0.065", "k $", "BASF"},
+		{"T12", "0011", "20161231", "E", "80", "k $", "BASF"},
+		{"T13", "0012", "20180701", "D", "0.065", "k $", "SAP"},
+		{"T14", "0013", "20180701", "D", "180", "k $", "BASF"},
+		{"T15", "0014", "20180701", "D", "220", "k $", "BASF"},
+		{"T16", "0015", "99991231", "F", "0.45", "k $", "SAP"},
+	}
+}
+
+// Schema returns A1 = (ID1, ID2, Date, Type, Val, Unit, Org).
+func Schema() *table.Schema {
+	return table.MustSchema("ID1", "ID2", "Date", "Type", "Val", "Unit", "Org")
+}
+
+// Instance builds I1 with the default meta-function library.
+func Instance() *delta.Instance {
+	src := table.MustFromRows(Schema(), SourceRows())
+	tgt := table.MustFromRows(Schema(), TargetRows())
+	inst, err := delta.NewInstance(src, tgt, nil)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// ReferenceFuncs returns F^{E1} exactly as printed below Figure 1.
+func ReferenceFuncs() delta.FuncTuple {
+	id1 := metafunc.NewMapping(map[string]string{
+		"S01": "T07", "S02": "T02", "S03": "T06", "S05": "T04",
+		"S06": "T03", "S07": "T09", "S08": "T10", "S09": "T08",
+		"S11": "T13", "S12": "T14", "S13": "T15", "S15": "T11",
+		"S17": "T12",
+	})
+	id2 := metafunc.NewMapping(map[string]string{
+		"0000": "0006", "0001": "0001", "0002": "0005", "0004": "0003",
+		"0005": "0002", "0006": "0008", "0007": "0009", "0008": "0007",
+		"0010": "0012", "0011": "0013", "0012": "0014", "0014": "0010",
+		"0016": "0011",
+	})
+	div, err := metafunc.NewDivision("1000")
+	if err != nil {
+		panic(err)
+	}
+	return delta.FuncTuple{
+		ID1:  id1,
+		ID2:  id2,
+		Date: metafunc.PrefixReplace{Y: "9999123", Z: "2018070"},
+		Type: metafunc.Identity{},
+		Val:  div,
+		Unit: metafunc.Constant{C: "k $"},
+		Org:  metafunc.Identity{},
+	}
+}
+
+// ReferenceExplanation builds E1 from the reference function tuple.
+func ReferenceExplanation() *delta.Explanation {
+	e, err := delta.Build(Instance(), ReferenceFuncs())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DeletedIDs lists S^{E1−} by ID1 value.
+func DeletedIDs() []string { return []string{"S04", "S10", "S14", "S16"} }
+
+// InsertedIDs lists T^{E1+} by ID1 value.
+func InsertedIDs() []string { return []string{"T01", "T05", "T16"} }
+
+// ReferenceCost is c(E1) at α = 0.5: L(T^{E1+}) + L(F^{E1}) = 21 + 56.
+const ReferenceCost = 77
+
+// TrivialCost is c(E∅) at α = 0.5: |A1| · |T1| = 7 · 16.
+const TrivialCost = 112

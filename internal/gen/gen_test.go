@@ -1,0 +1,289 @@
+package gen_test
+
+import (
+	"math"
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
+	"affidavit/internal/gen"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+func buildDataset(t *testing.T, name string, rows int) *table.Table {
+	t.Helper()
+	spec, err := datasets.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := spec.BuildRows(rows, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := buildDataset(t, "iris", 150)
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := p.Inst
+	// Snapshot size = N/(1+η): 150/1.3 ≈ 115; noise per side ≈ 34.
+	n := 150.0
+	wantNoise := int(n * 0.3 / 1.3)
+	wantCore := 150 - 2*wantNoise
+	if got := p.Reference.CoreSize(); got != wantCore {
+		t.Errorf("core = %d, want %d", got, wantCore)
+	}
+	if inst.Source.Len() != wantCore+wantNoise || inst.Target.Len() != wantCore+wantNoise {
+		t.Errorf("snapshot sizes %d/%d, want %d",
+			inst.Source.Len(), inst.Target.Len(), wantCore+wantNoise)
+	}
+	// Schema: iris data attrs + artificial key.
+	if inst.NumAttrs() != 6 {
+		t.Errorf("|A| = %d, want 6", inst.NumAttrs())
+	}
+	if p.KeyAttr != 5 {
+		t.Errorf("KeyAttr = %d, want 5", p.KeyAttr)
+	}
+	if err := p.Reference.Validate(); err != nil {
+		t.Fatalf("reference explanation invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	ds := buildDataset(t, "balance", 625)
+	cfg := gen.Config{Setting: gen.Setting{Eta: 0.5, Tau: 0.5}, Seed: 9}
+	a, err := gen.Generate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Generate(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reference.Funcs.Key() != b.Reference.Funcs.Key() {
+		t.Error("same seed sampled different functions")
+	}
+	for i := 0; i < a.Inst.Source.Len(); i++ {
+		if !a.Inst.Source.Record(i).Equal(b.Inst.Source.Record(i)) {
+			t.Fatal("same seed generated different sources")
+		}
+	}
+}
+
+func TestGenerateKeyIsPermuted(t *testing.T) {
+	ds := buildDataset(t, "iris", 150)
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joining on the artificial key must misalign: at least one core pair
+	// has different keys on both sides.
+	misaligned := 0
+	for i, s := range p.Reference.CoreSrc {
+		sk := p.Inst.Source.Value(s, p.KeyAttr)
+		tk := p.Inst.Target.Value(p.Reference.CoreTgt[i], p.KeyAttr)
+		if sk != tk {
+			misaligned++
+		}
+	}
+	if misaligned == 0 {
+		t.Error("artificial key was not permuted")
+	}
+	// The reference key function is a value mapping covering the core.
+	if _, ok := p.Reference.Funcs[p.KeyAttr].(*metafunc.Mapping); !ok {
+		t.Errorf("key function is %T, want *Mapping", p.Reference.Funcs[p.KeyAttr])
+	}
+}
+
+func TestGenerateAtLeastOneIdentity(t *testing.T) {
+	// τ = 1 would transform everything; the generator must reject such
+	// samplings and keep at least one identity data attribute.
+	ds := buildDataset(t, "balance", 625)
+	for seed := int64(0); seed < 5; seed++ {
+		p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.95}, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := 0
+		for a := 0; a < p.Inst.NumAttrs()-1; a++ { // exclude artificial key
+			if metafunc.IsIdentity(p.Reference.Funcs[a]) {
+				ids++
+			}
+		}
+		if ids == 0 {
+			t.Errorf("seed %d: all data attributes transformed", seed)
+		}
+	}
+}
+
+func TestGenerateTransformsRoughlyTauAttributes(t *testing.T) {
+	ds := buildDataset(t, "horse", 368) // 27 data attrs: enough for statistics
+	total, transformed := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < p.Inst.NumAttrs()-1; a++ {
+			total++
+			if !metafunc.IsIdentity(p.Reference.Funcs[a]) {
+				transformed++
+			}
+		}
+	}
+	frac := float64(transformed) / float64(total)
+	if math.Abs(frac-0.3) > 0.12 {
+		t.Errorf("transformed fraction = %.2f, want ≈ τ = 0.3", frac)
+	}
+}
+
+func TestGenerateDropsOverDistinctAttributes(t *testing.T) {
+	// A near-unique column must be dropped before generation (Section 5.1).
+	s := table.MustSchema("uniq", "cat")
+	var rows []table.Record
+	for i := 0; i < 100; i++ {
+		rows = append(rows, table.Record{itoa(i), []string{"a", "b"}[i%2]})
+	}
+	ds := table.MustFromRows(s, rows)
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inst.Schema().Index("uniq") != -1 {
+		t.Error("over-distinct attribute survived")
+	}
+	if p.Inst.Schema().Index("cat") == -1 {
+		t.Error("normal attribute dropped")
+	}
+}
+
+func TestGenerateDropsEmptyAttributes(t *testing.T) {
+	s := table.MustSchema("empty", "cat")
+	var rows []table.Record
+	for i := 0; i < 50; i++ {
+		rows = append(rows, table.Record{"", []string{"a", "b", "c"}[i%3]})
+	}
+	ds := table.MustFromRows(s, rows)
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inst.Schema().Index("empty") != -1 {
+		t.Error("empty attribute survived")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ds := buildDataset(t, "iris", 150)
+	if _, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: -1, Tau: 0.3}}); err == nil {
+		t.Error("negative η accepted")
+	}
+	if _, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 2}}); err == nil {
+		t.Error("τ > 1 accepted")
+	}
+	tiny := table.MustFromRows(table.MustSchema("a"), []table.Record{{"1"}})
+	if _, err := gen.Generate(tiny, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}}); err == nil {
+		t.Error("tiny dataset accepted")
+	}
+}
+
+func TestReferenceCostFinite(t *testing.T) {
+	ds := buildDataset(t, "bridges", 108)
+	for _, setting := range gen.Settings() {
+		p, err := gen.Generate(ds, gen.Config{Setting: setting, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := delta.DefaultCosts.Cost(p.Reference)
+		if cost <= 0 {
+			t.Errorf("%v: reference cost %v not positive", setting, cost)
+		}
+		triv := delta.DefaultCosts.Cost(delta.Trivial(p.Inst))
+		if cost >= triv {
+			t.Errorf("%v: reference cost %v not below trivial %v", setting, cost, triv)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	ds := buildDataset(t, "abalone", 4177)
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := p.Scale(0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := half.Reference.Validate(); err != nil {
+		t.Fatalf("scaled reference invalid: %v", err)
+	}
+	ratio := float64(half.Inst.Source.Len()) / float64(p.Inst.Source.Len())
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("scaled to %.2f of records, want 0.5", ratio)
+	}
+	// Same transformations: non-mapping functions unchanged.
+	for a := 0; a < p.Inst.NumAttrs()-1; a++ {
+		pf, hf := p.Reference.Funcs[a], half.Reference.Funcs[a]
+		_, pm := pf.(*metafunc.Mapping)
+		_, hm := hf.(*metafunc.Mapping)
+		if pm != hm {
+			t.Errorf("attr %d changed function family on scaling", a)
+		}
+		if !pm && pf.Key() != hf.Key() {
+			t.Errorf("attr %d changed function on scaling: %s vs %s", a, pf, hf)
+		}
+	}
+	if _, err := p.Scale(0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := p.Scale(1.5, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+// TestScalePrunesMappings: scaled instances must not pay description length
+// for mapping entries over vanished values (Section 5.4.1).
+func TestScalePrunesMappings(t *testing.T) {
+	ds := buildDataset(t, "ncvoter-1k", 1000)
+	// High τ to make mapping attributes likely.
+	p, err := gen.Generate(ds, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.7}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := p.Scale(0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < p.Inst.NumAttrs()-1; a++ {
+		pm, ok := p.Reference.Funcs[a].(*metafunc.Mapping)
+		if !ok {
+			continue
+		}
+		sm, ok := small.Reference.Funcs[a].(*metafunc.Mapping)
+		if !ok {
+			t.Fatalf("attr %d lost its mapping on scaling", a)
+		}
+		if sm.Len() >= pm.Len() {
+			t.Errorf("attr %d: scaled mapping has %d entries, original %d — no pruning?",
+				a, sm.Len(), pm.Len())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+// sampleFunc draws a random non-identity transformation for one attribute,
+// respecting its domain: numeric attributes receive numeric functions
+// (never uppercasing, Section 5.1), string attributes receive string
+// rewrites, and both may receive value-mapping permutations — "potentially
+// the hardest transformations to learn".
+func sampleFunc(t *table.Table, attr int, rng *rand.Rand) sampledFunc {
+	st := t.Stats(attr)
+	values := distinctValues(t, attr)
+	// Date columns may receive a layout conversion (the prototype extension
+	// named in the paper's conclusions).
+	if layout, ok := metafunc.DetectDateLayout(values); ok && rng.Intn(3) == 0 {
+		if f := sampleDateConvert(layout, rng); f != nil && changesSomething(f, values) {
+			return sampledFunc{f: f}
+		}
+	}
+	for tries := 0; tries < 64; tries++ {
+		var f metafunc.Func
+		if st.CanonicalAll {
+			f = sampleNumeric(rng)
+		} else {
+			f = sampleString(values, rng)
+		}
+		if f == nil {
+			continue
+		}
+		if changesSomething(f, values) {
+			return sampledFunc{f: f}
+		}
+	}
+	// Fall back to a value-mapping permutation, which always fits.
+	return sampledFunc{perm: samplePermutation(values, rng)}
+}
+
+// terminatingFactors are divisors/multipliers whose decimal expansions
+// always terminate, so reference transformations stay representable.
+var terminatingFactors = []string{"2", "4", "5", "8", "10", "16", "20", "25", "50", "100", "1000"}
+
+func sampleNumeric(rng *rand.Rand) metafunc.Func {
+	switch rng.Intn(4) {
+	case 0: // addition / subtraction
+		y := rng.Intn(999) + 1
+		if rng.Intn(2) == 0 {
+			y = -y
+		}
+		f, err := metafunc.NewAdd(fmt.Sprintf("%d", y))
+		if err != nil {
+			panic(err)
+		}
+		return f
+	case 1: // division
+		f, err := metafunc.NewDivision(terminatingFactors[rng.Intn(len(terminatingFactors))])
+		if err != nil {
+			panic(err)
+		}
+		return f
+	case 2: // multiplication
+		f, err := metafunc.NewMultiplication(terminatingFactors[rng.Intn(len(terminatingFactors))])
+		if err != nil {
+			panic(err)
+		}
+		return f
+	default:
+		return nil // caller falls through to a permutation mapping
+	}
+}
+
+// sampleDateConvert converts from the detected layout to a random other
+// catalog layout.
+func sampleDateConvert(from string, rng *rand.Rand) metafunc.Func {
+	layouts := metafunc.DateLayouts()
+	for tries := 0; tries < 8; tries++ {
+		to := layouts[rng.Intn(len(layouts))]
+		if to == from {
+			continue
+		}
+		f, err := metafunc.NewDateConvert(from, to)
+		if err != nil {
+			return nil
+		}
+		return f
+	}
+	return nil
+}
+
+const affixAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func randomAffix(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = affixAlphabet[rng.Intn(len(affixAlphabet))]
+	}
+	return string(b)
+}
+
+func sampleString(values []string, rng *rand.Rand) metafunc.Func {
+	nonEmpty := make([]string, 0, len(values))
+	for _, v := range values {
+		if v != "" {
+			nonEmpty = append(nonEmpty, v)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	pick := func() string { return nonEmpty[rng.Intn(len(nonEmpty))] }
+	switch rng.Intn(8) {
+	case 0:
+		return metafunc.Upper{}
+	case 1:
+		return metafunc.Constant{C: pick()}
+	case 2:
+		return metafunc.Prefix{Y: randomAffix(rng) + "_"}
+	case 3:
+		return metafunc.Suffix{Y: "_" + randomAffix(rng)}
+	case 4: // front masking, sized to the shortest non-empty value
+		min := shortest(nonEmpty)
+		if min == 0 {
+			return nil
+		}
+		n := 1 + rng.Intn(min)
+		if n > 3 {
+			n = 3
+		}
+		mask := make([]byte, n)
+		for i := range mask {
+			mask[i] = affixAlphabet[rng.Intn(len(affixAlphabet))]
+		}
+		return metafunc.FrontMask{M: string(mask)}
+	case 5: // front char trimming on an observed leading character
+		v := pick()
+		return metafunc.FrontTrim{C: v[0]}
+	case 6: // prefix replacement rooted at an observed first character
+		v := pick()
+		return metafunc.PrefixReplace{Y: v[:1], Z: randomAffix(rng)}
+	case 7: // suffix replacement rooted at an observed last character
+		v := pick()
+		return metafunc.SuffixReplace{Y: v[len(v)-1:], Z: randomAffix(rng)}
+	}
+	return nil
+}
+
+func shortest(vs []string) int {
+	min := -1
+	for _, v := range vs {
+		if min == -1 || len(v) < min {
+			min = len(v)
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// samplePermutation returns a uniform random permutation of the distinct
+// values, as Section 5.1 instantiates value mappings.
+func samplePermutation(values []string, rng *rand.Rand) map[string]string {
+	shuffled := append([]string(nil), values...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	perm := make(map[string]string, len(values))
+	for i, v := range values {
+		perm[v] = shuffled[i]
+	}
+	return perm
+}
+
+func distinctValues(t *table.Table, attr int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < t.Len(); i++ {
+		v := t.Value(i, attr)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func changesSomething(f metafunc.Func, values []string) bool {
+	for _, v := range values {
+		if f.Apply(v) != v {
+			return true
+		}
+	}
+	return false
+}

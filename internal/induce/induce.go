@@ -1,0 +1,294 @@
+// Package induce learns attribute functions from the noisy input–output
+// examples a blocking result yields (Section 4.4): it samples target
+// records from mixed blocks, induces candidate functions from every source
+// value in the same block, filters candidates by how many distinct sampled
+// targets generated them, and ranks the survivors by estimated histogram
+// overlap on a Cochran-sized sample of source records.
+package induce
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/metafunc"
+)
+
+// Config carries the statistical parameters of Sections 4.4.2–4.4.3.
+type Config struct {
+	// Theta is θ: the estimated fraction of target records on which the
+	// optimal function's effect is visible. Default 0.1.
+	Theta float64
+	// Rho is ρ: the confidence level for the induction sample. Default 0.95.
+	Rho float64
+	// MinGenerated is the generation-count threshold at full sample size k;
+	// k is chosen so the optimal function reaches it with confidence ρ.
+	// Default 5. When fewer than k targets exist the threshold scales down
+	// proportionally (DESIGN.md §4.2).
+	MinGenerated int
+	// MaxRanked caps how many filtered candidates enter the expensive
+	// ranking stage (kept by generation count). Default 64.
+	MaxRanked int
+	// MaxSourceValuesPerBlock caps the distinct source values considered
+	// per sampled target when its block is still very coarse. Default 1000.
+	MaxSourceValuesPerBlock int
+}
+
+// Defaults is the paper's evaluation configuration.
+var Defaults = Config{
+	Theta:                   0.1,
+	Rho:                     0.95,
+	MinGenerated:            5,
+	MaxRanked:               64,
+	MaxSourceValuesPerBlock: 1000,
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := Defaults
+	if c.Theta > 0 {
+		d.Theta = c.Theta
+	}
+	if c.Rho > 0 {
+		d.Rho = c.Rho
+	}
+	if c.MinGenerated > 0 {
+		d.MinGenerated = c.MinGenerated
+	}
+	if c.MaxRanked > 0 {
+		d.MaxRanked = c.MaxRanked
+	}
+	if c.MaxSourceValuesPerBlock > 0 {
+		d.MaxSourceValuesPerBlock = c.MaxSourceValuesPerBlock
+	}
+	return d
+}
+
+// SampleSize returns the smallest k such that a Binomial(k, theta) variable
+// X satisfies P(X ≥ minGen) ≥ rho (Section 4.4.2): sampling k target
+// records generates the optimal function at least minGen times with
+// confidence rho.
+func SampleSize(theta, rho float64, minGen int) int {
+	if theta <= 0 || theta >= 1 || minGen <= 0 {
+		return minGen
+	}
+	const cap = 100000
+	for k := minGen; k <= cap; k++ {
+		if binomUpperTail(k, theta, minGen) >= rho {
+			return k
+		}
+	}
+	return cap
+}
+
+// binomUpperTail computes P(X ≥ n) for X ~ Bin(k, p).
+func binomUpperTail(k int, p float64, n int) float64 {
+	// Sum the lower tail P(X < n) with incremental pmf updates.
+	q := 1 - p
+	pmf := math.Pow(q, float64(k)) // P(X = 0)
+	lower := 0.0
+	for i := 0; i < n; i++ {
+		lower += pmf
+		// pmf(i+1) = pmf(i) * (k-i)/(i+1) * p/q
+		pmf *= float64(k-i) / float64(i+1) * p / q
+	}
+	if lower > 1 {
+		lower = 1
+	}
+	return 1 - lower
+}
+
+// CochranSize returns Cochran's sample size k′ = z²·p·(1−p)/e² with
+// z = 1.96 and e = 0.05 (Section 4.4.3), rounded up.
+func CochranSize(p float64) int {
+	const z, e = 1.96, 0.05
+	return int(math.Ceil(z * z * p * (1 - p) / (e * e)))
+}
+
+// Candidate is a ranked function candidate for one attribute.
+type Candidate struct {
+	Func metafunc.Func
+	// Generated counts the distinct sampled target records that induced
+	// this function (Section 4.4.2's significance statistic).
+	Generated int
+	// Overlap is the total estimated histogram overlap (Section 4.4.3).
+	Overlap int
+	// Score is Overlap − ψ(Func), the ranking criterion.
+	Score int
+}
+
+// Candidates induces, filters and ranks function candidates for attribute
+// attr under blocking result r, returning the best ones in rank order
+// (highest score first). At most top candidates are returned; top ≤ 0
+// returns all ranked survivors.
+func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config, top int, rng *rand.Rand) []Candidate {
+	cfg = cfg.withDefaults()
+	inst := r.Instance()
+	mixed := r.MixedBlocks()
+	if len(mixed) == 0 {
+		return nil
+	}
+
+	// --- Stage 1: induce candidates from sampled target records. ---
+	type tref struct {
+		block *blocking.Block
+		rec   int32
+	}
+	var targets []tref
+	for _, b := range mixed {
+		for _, t := range b.Tgt {
+			targets = append(targets, tref{block: b, rec: t})
+		}
+	}
+	k := SampleSize(cfg.Theta, cfg.Rho, cfg.MinGenerated)
+	sampled := len(targets)
+	if sampled > k {
+		rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		targets = targets[:k]
+		sampled = k
+	}
+	// Distinct source values per block, computed lazily and cached.
+	srcVals := make(map[*blocking.Block][]string)
+	distinctSrcVals := func(b *blocking.Block) []string {
+		if vs, ok := srcVals[b]; ok {
+			return vs
+		}
+		seen := make(map[string]bool)
+		var vs []string
+		for _, s := range b.Src {
+			v := inst.Source.Value(int(s), attr)
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) > cfg.MaxSourceValuesPerBlock {
+			rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+			vs = vs[:cfg.MaxSourceValuesPerBlock]
+		}
+		srcVals[b] = vs
+		return vs
+	}
+	genCount := make(map[string]int)
+	exemplar := make(map[string]metafunc.Func)
+	perTarget := make(map[string]bool)
+	for _, tr := range targets {
+		out := inst.Target.Value(int(tr.rec), attr)
+		clear(perTarget)
+		for _, in := range distinctSrcVals(tr.block) {
+			for _, f := range metafunc.InduceAll(metas, in, out) {
+				key := f.Key()
+				if !perTarget[key] {
+					perTarget[key] = true
+					if _, ok := exemplar[key]; !ok {
+						exemplar[key] = f
+					}
+					genCount[key]++
+				}
+			}
+		}
+	}
+
+	// --- Stage 2: significance filter. ---
+	// At full sample size k the threshold is MinGenerated; with fewer
+	// available targets it scales proportionally (never below 1).
+	minGen := cfg.MinGenerated
+	if sampled < k {
+		minGen = int(math.Ceil(float64(cfg.MinGenerated) * float64(sampled) / float64(k)))
+		if minGen < 1 {
+			minGen = 1
+		}
+	}
+	var cands []Candidate
+	for key, n := range genCount {
+		if n >= minGen {
+			cands = append(cands, Candidate{Func: exemplar[key], Generated: n})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Generated != cands[j].Generated {
+			return cands[i].Generated > cands[j].Generated
+		}
+		return cands[i].Func.Key() < cands[j].Func.Key()
+	})
+	if len(cands) > cfg.MaxRanked {
+		cands = cands[:cfg.MaxRanked]
+	}
+
+	// --- Stage 3: rank by estimated histogram overlap. ---
+	rankByOverlap(r, attr, cands, cfg, rng)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		// Prefer the cheaper function, then a stable key order.
+		pi, pj := cands[i].Func.Params(), cands[j].Func.Params()
+		if pi != pj {
+			return pi < pj
+		}
+		return cands[i].Func.Key() < cands[j].Func.Key()
+	})
+	if top > 0 && len(cands) > top {
+		cands = cands[:top]
+	}
+	return cands
+}
+
+// rankByOverlap fills Overlap and Score by evaluating every candidate on
+// the blocks of a Cochran-sized sample of source records (Section 4.4.3):
+// within each sampled block, a candidate's value histogram over the block's
+// source values is intersected with the block's target value histogram.
+func rankByOverlap(r *blocking.Result, attr int, cands []Candidate, cfg Config, rng *rand.Rand) {
+	inst := r.Instance()
+	mixed := r.MixedBlocks()
+	var sources []*blocking.Block // one entry per source record, its block
+	for _, b := range mixed {
+		for range b.Src {
+			sources = append(sources, b)
+		}
+	}
+	kPrime := CochranSize(cfg.Theta)
+	if len(sources) > kPrime {
+		rng.Shuffle(len(sources), func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+		sources = sources[:kPrime]
+	}
+	blocks := make(map[*blocking.Block]bool)
+	for _, b := range sources {
+		blocks[b] = true
+	}
+	srcHist := make(map[string]int)
+	tgtHist := make(map[string]int)
+	outHist := make(map[string]int)
+	for b := range blocks {
+		clear(srcHist)
+		for _, s := range b.Src {
+			srcHist[inst.Source.Value(int(s), attr)]++
+		}
+		clear(tgtHist)
+		for _, t := range b.Tgt {
+			tgtHist[inst.Target.Value(int(t), attr)]++
+		}
+		for i := range cands {
+			clear(outHist)
+			for v, n := range srcHist {
+				outHist[cands[i].Func.Apply(v)] += n
+			}
+			for v, n := range outHist {
+				if m := tgtHist[v]; m > 0 {
+					if m < n {
+						cands[i].Overlap += m
+					} else {
+						cands[i].Overlap += n
+					}
+				}
+			}
+		}
+	}
+	for i := range cands {
+		cands[i].Score = cands[i].Overlap - cands[i].Func.Params()
+	}
+}

@@ -1,0 +1,217 @@
+package induce_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/delta"
+	"affidavit/internal/fixture"
+	"affidavit/internal/induce"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+func TestSampleSize(t *testing.T) {
+	// θ=0.1, ρ=0.95, ≥5 generations: k must be in the low nineties — the
+	// expected count at k=91 is 9.1 and the lower tail below 5 is ~5 %.
+	k := induce.SampleSize(0.1, 0.95, 5)
+	if k < 80 || k > 105 {
+		t.Errorf("SampleSize(0.1, 0.95, 5) = %d, want ≈91", k)
+	}
+	// Monotonicity: more confidence or rarer effects need more samples.
+	if induce.SampleSize(0.1, 0.99, 5) <= k {
+		t.Error("higher confidence should need more samples")
+	}
+	if induce.SampleSize(0.05, 0.95, 5) <= k {
+		t.Error("rarer effect should need more samples")
+	}
+	if induce.SampleSize(0.5, 0.95, 5) >= k {
+		t.Error("commoner effect should need fewer samples")
+	}
+	// Degenerate inputs fall back to minGen.
+	if induce.SampleSize(0, 0.95, 5) != 5 || induce.SampleSize(1, 0.95, 5) != 5 {
+		t.Error("degenerate θ should return minGen")
+	}
+}
+
+func TestCochranSize(t *testing.T) {
+	// z=1.96, e=0.05, p=0.1 → 1.96²·0.09/0.0025 = 138.3 → 139.
+	if got := induce.CochranSize(0.1); got != 139 {
+		t.Errorf("CochranSize(0.1) = %d, want 139", got)
+	}
+	// p=0.5 maximises variance → 385 (the classic Cochran number).
+	if got := induce.CochranSize(0.5); got != 385 {
+		t.Errorf("CochranSize(0.5) = %d, want 385", got)
+	}
+}
+
+func rngFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestCandidatesFindsDivisionOnVal reproduces the paper's Section 4.4.2
+// narrative: sampling targets in blocks over I1's Val attribute must induce
+// x ↦ x/1000 and rank it above the noise candidates.
+func TestCandidatesFindsDivisionOnVal(t *testing.T) {
+	inst := fixture.Instance()
+	// Block on the stable attributes, as the search would have by the time
+	// it asks about Val.
+	r := blocking.New(inst).
+		Refine(fixture.Type, metafunc.Identity{}).
+		Refine(fixture.Org, metafunc.Identity{})
+	cands := induce.Candidates(r, fixture.Val, inst.Metas, induce.Defaults, 3, rngFor(42))
+	if len(cands) == 0 {
+		t.Fatal("no candidates for Val")
+	}
+	div, _ := metafunc.NewDivision("1000")
+	if cands[0].Func.Key() != div.Key() {
+		for _, c := range cands {
+			t.Logf("candidate %s gen=%d overlap=%d score=%d",
+				c.Func, c.Generated, c.Overlap, c.Score)
+		}
+		t.Fatalf("top Val candidate = %s, want x/1000", cands[0].Func)
+	}
+}
+
+// TestCandidatesFindsConstantOnUnit: every target Unit is 'k $'.
+func TestCandidatesFindsConstantOnUnit(t *testing.T) {
+	inst := fixture.Instance()
+	r := blocking.New(inst).Refine(fixture.Org, metafunc.Identity{})
+	cands := induce.Candidates(r, fixture.Unit, inst.Metas, induce.Defaults, 2, rngFor(7))
+	if len(cands) == 0 {
+		t.Fatal("no candidates for Unit")
+	}
+	want := metafunc.Constant{C: "k $"}
+	found := false
+	for _, c := range cands {
+		if c.Func.Key() == want.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constant 'k $' not among top candidates: %v", cands)
+	}
+}
+
+// TestCandidatesFindsDateReplacement: the '9999123'→'2018070' prefix
+// replacement is visible on only 3 of 16 targets; the scaled-down
+// significance threshold must keep it alive on a small instance.
+func TestCandidatesFindsDateReplacement(t *testing.T) {
+	inst := fixture.Instance()
+	r := blocking.New(inst).
+		Refine(fixture.Type, metafunc.Identity{}).
+		Refine(fixture.Org, metafunc.Identity{})
+	cands := induce.Candidates(r, fixture.Date, inst.Metas, induce.Defaults, 5, rngFor(3))
+	found := false
+	for _, c := range cands {
+		if pr, ok := c.Func.(metafunc.PrefixReplace); ok && pr.Y == "9999123" && pr.Z == "2018070" {
+			found = true
+		}
+	}
+	if !found {
+		for _, c := range cands {
+			t.Logf("candidate %s gen=%d score=%d", c.Func, c.Generated, c.Score)
+		}
+		t.Error("date prefix replacement not induced")
+	}
+}
+
+// TestIdentityRankedFirstOnUnchangedAttribute: on Org (unchanged), the
+// identity should win the ranking — overlap is maximal and ψ = 0.
+func TestIdentityRankedFirstOnUnchangedAttribute(t *testing.T) {
+	inst := fixture.Instance()
+	r := blocking.New(inst).Refine(fixture.Type, metafunc.Identity{})
+	cands := induce.Candidates(r, fixture.Org, inst.Metas, induce.Defaults, 1, rngFor(11))
+	if len(cands) != 1 || !metafunc.IsIdentity(cands[0].Func) {
+		t.Fatalf("top Org candidate = %v, want identity", cands)
+	}
+}
+
+func TestCandidatesEmptyOnUnmixedBlocks(t *testing.T) {
+	inst := fixture.Instance()
+	// Identity on Unit separates all sources from all targets.
+	r := blocking.New(inst).Refine(fixture.Unit, metafunc.Identity{})
+	cands := induce.Candidates(r, fixture.Val, inst.Metas, induce.Defaults, 3, rngFor(1))
+	if cands != nil {
+		t.Errorf("candidates from unmixed blocks: %v", cands)
+	}
+}
+
+func TestCandidatesDeterministicUnderSeed(t *testing.T) {
+	inst := fixture.Instance()
+	r := blocking.New(inst).Refine(fixture.Org, metafunc.Identity{})
+	a := induce.Candidates(r, fixture.Val, inst.Metas, induce.Defaults, 4, rngFor(99))
+	b := induce.Candidates(r, fixture.Val, inst.Metas, induce.Defaults, 4, rngFor(99))
+	if len(a) != len(b) {
+		t.Fatal("different lengths under same seed")
+	}
+	for i := range a {
+		if a[i].Func.Key() != b[i].Func.Key() || a[i].Score != b[i].Score {
+			t.Fatal("same seed gave different rankings")
+		}
+	}
+}
+
+// TestRankingPenalisesConstants: a constant that nails one frequent value
+// must not outrank a generalising function (the x↦'9.8' example of 4.4.3).
+func TestRankingPenalisesConstants(t *testing.T) {
+	s := table.MustSchema("v")
+	var srcRows, tgtRows []table.Record
+	// 40 numeric values, each ×1000 in the target.
+	for i := 1; i <= 40; i++ {
+		srcRows = append(srcRows, table.Record{value(i)})
+		tgtRows = append(tgtRows, table.Record{value(i * 1000)})
+	}
+	src := table.MustFromRows(s, srcRows)
+	tgt := table.MustFromRows(s, tgtRows)
+	inst, err := delta.NewInstance(src, tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := blocking.New(inst)
+	cands := induce.Candidates(r, 0, inst.Metas, induce.Defaults, 1, rngFor(5))
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	mul, _ := metafunc.NewMultiplication("1000")
+	if cands[0].Func.Key() != mul.Key() {
+		t.Errorf("top candidate = %s, want ×1000", cands[0].Func)
+	}
+}
+
+func value(n int) string {
+	d := make([]byte, 0, 8)
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+// TestMaxSourceValuesCap exercises the coarse-block cap: a single giant
+// block must not explode induction time, and the cap must still leave the
+// true function discoverable.
+func TestMaxSourceValuesCap(t *testing.T) {
+	s := table.MustSchema("v")
+	var srcRows, tgtRows []table.Record
+	for i := 1; i <= 1200; i++ {
+		srcRows = append(srcRows, table.Record{value(i)})
+		tgtRows = append(tgtRows, table.Record{"P" + value(i)})
+	}
+	src := table.MustFromRows(s, srcRows)
+	tgt := table.MustFromRows(s, tgtRows)
+	inst, _ := delta.NewInstance(src, tgt, nil)
+	cfg := induce.Defaults
+	// Half the block's distinct values: the true function is still induced
+	// from ~θ·k/2 ≫ threshold sampled targets, but work per target halves.
+	cfg.MaxSourceValuesPerBlock = 600
+	cands := induce.Candidates(blocking.New(inst), 0, inst.Metas, cfg, 3, rngFor(13))
+	found := false
+	for _, c := range cands {
+		if p, ok := c.Func.(metafunc.Prefix); ok && p.Y == "P" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("prefix function not found under cap: %v", cands)
+	}
+}

@@ -1,0 +1,38 @@
+package metafunc
+
+// DefaultMetas returns the meta-function library the Affidavit prototype
+// ships with: every row of the paper's Table 1 (value mappings excluded —
+// they are resolved at the end of the search, not induced) plus the inverse
+// variants the paper names (suffixing, multiplication, lowercasing, back
+// masking, back trimming).
+func DefaultMetas() []Meta {
+	return []Meta{
+		IdentityMeta{},
+		CasingMeta{},
+		ConstantMeta{},
+		AdditionMeta{},
+		ScalingMeta{},
+		MaskingMeta{},
+		TrimmingMeta{},
+		AffixMeta{},
+		ReplacementMeta{},
+		DateMeta{},
+	}
+}
+
+// InduceAll runs every meta on one input–output example and returns the
+// deduplicated union of candidates. Each distinct Key appears once.
+func InduceAll(metas []Meta, in, out string) []Func {
+	var fs []Func
+	seen := make(map[string]bool)
+	for _, m := range metas {
+		for _, f := range m.Induce(in, out) {
+			k := f.Key()
+			if !seen[k] {
+				seen[k] = true
+				fs = append(fs, f)
+			}
+		}
+	}
+	return fs
+}

@@ -1,0 +1,93 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/fixture"
+	"affidavit/internal/report"
+)
+
+func TestTextReport(t *testing.T) {
+	e := fixture.ReferenceExplanation()
+	out := report.Text(e, delta.DefaultCosts)
+	for _, want := range []string{
+		"core (aligned): 13",
+		"deleted: 4",
+		"inserted: 3",
+		"cost: 77",
+		"Val",
+		"x ↦ x / 1000",
+		"k $",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextReportElidesLongLists(t *testing.T) {
+	inst := fixture.Instance()
+	e := delta.Trivial(inst) // 17 deleted, 16 inserted
+	out := report.Text(e, delta.DefaultCosts)
+	if !strings.Contains(out, "more") {
+		t.Error("long record lists should be elided")
+	}
+}
+
+func TestDiffView(t *testing.T) {
+	e := fixture.ReferenceExplanation()
+	out := report.Diff(e, 2)
+	if !strings.Contains(out, "↦") || !strings.Contains(out, "more aligned records") {
+		t.Errorf("diff view malformed:\n%s", out)
+	}
+	// Changed cells are starred; unchanged are not. Type never changes.
+	if strings.Contains(out, "* Type") {
+		t.Error("unchanged Type cell marked as changed")
+	}
+	if !strings.Contains(out, "* Val") {
+		t.Error("changed Val cell not marked")
+	}
+	full := report.Diff(e, 0)
+	if strings.Contains(full, "more aligned records") {
+		t.Error("limit 0 should render everything")
+	}
+}
+
+func TestSQLScript(t *testing.T) {
+	e := fixture.ReferenceExplanation()
+	out := report.SQL(e, "erp_values")
+	for _, want := range []string{
+		"BEGIN;",
+		"COMMIT;",
+		`UPDATE "erp_values" SET "Val" = CAST("Val" AS DECIMAL) * 0.001;`,
+		`UPDATE "erp_values" SET "Unit" = 'k $';`,
+		`CASE WHEN "Date" LIKE '9999123%' THEN '2018070' || SUBSTR("Date", 8) ELSE "Date" END`,
+		"DELETE FROM",
+		"INSERT INTO",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sql script missing %q:\n%s", want, out)
+		}
+	}
+	// Identity attributes produce no UPDATE.
+	if strings.Contains(out, `SET "Type"`) || strings.Contains(out, `SET "Org"`) {
+		t.Error("identity attribute updated")
+	}
+	// 4 deletes, 3 inserts.
+	if got := strings.Count(out, "DELETE FROM"); got != 4 {
+		t.Errorf("DELETE count = %d, want 4", got)
+	}
+	if got := strings.Count(out, "INSERT INTO"); got != 3 {
+		t.Errorf("INSERT count = %d, want 3", got)
+	}
+}
+
+func TestSQLEscaping(t *testing.T) {
+	e := fixture.ReferenceExplanation()
+	out := report.SQL(e, `evil"table'`)
+	if !strings.Contains(out, `"evil""table'"`) {
+		t.Errorf("identifier not escaped:\n%s", out[:200])
+	}
+}

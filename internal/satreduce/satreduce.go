@@ -1,0 +1,226 @@
+// Package satreduce implements the polynomial-time reduction from 3-SAT to
+// Explain-Table-Delta used in the paper's NP-hardness proof (Theorem 3.12,
+// Figure 2), plus an exact solver for the reduced instances so the
+// construction can be exercised end to end: a formula is satisfiable iff
+// the optimal explanation of its reduced instance deletes no source record,
+// and a model can be read off the optimal attribute functions.
+package satreduce
+
+import (
+	"fmt"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+// Literal is one literal: variable index Var (1-based) with optional
+// negation.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// CNF is a conjunction of clauses over NumVars variables.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Example returns the Figure 2 instance: c = (v1∨v2∨v3) ∧ (¬v1∨v4) ∧ ¬v3,
+// which reduces to 3 source and 7+3+1 = 11 target records.
+func Example() CNF {
+	return CNF{
+		NumVars: 4,
+		Clauses: []Clause{
+			{{Var: 1}, {Var: 2}, {Var: 3}},
+			{{Var: 1, Neg: true}, {Var: 4}},
+			{{Var: 3, Neg: true}},
+		},
+	}
+}
+
+// Validate checks variable indices and clause sizes.
+func (c CNF) Validate() error {
+	if c.NumVars < 1 {
+		return fmt.Errorf("satreduce: need at least one variable")
+	}
+	for i, cl := range c.Clauses {
+		if len(cl) == 0 {
+			return fmt.Errorf("satreduce: clause %d is empty", i+1)
+		}
+		if len(cl) > 3 {
+			return fmt.Errorf("satreduce: clause %d has %d literals; 3-SAT allows ≤ 3", i+1, len(cl))
+		}
+		seen := map[int]bool{}
+		for _, l := range cl {
+			if l.Var < 1 || l.Var > c.NumVars {
+				return fmt.Errorf("satreduce: clause %d references v%d outside 1..%d", i+1, l.Var, c.NumVars)
+			}
+			if seen[l.Var] {
+				return fmt.Errorf("satreduce: clause %d repeats v%d", i+1, l.Var)
+			}
+			seen[l.Var] = true
+		}
+	}
+	return nil
+}
+
+// Reduce builds the Explain-Table-Delta instance of Figure 2. The schema is
+// (#, v1, …, vd). The source holds one record per clause with '1' for
+// positive literals, '0' for negative ones and '-' for absent variables.
+// The target holds, per clause with k literals, the 2^k − 1 satisfying
+// assignments of the clause, encoded so that applying id (variable true) or
+// negation (variable false) per column to the clause's source record yields
+// exactly the record of the corresponding model.
+func Reduce(c CNF) (*delta.Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	attrs := make([]string, 0, c.NumVars+1)
+	attrs = append(attrs, "#")
+	for v := 1; v <= c.NumVars; v++ {
+		attrs = append(attrs, fmt.Sprintf("v%d", v))
+	}
+	schema, err := table.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	src := table.New(schema)
+	tgt := table.New(schema)
+	for i, cl := range c.Clauses {
+		rec := make(table.Record, c.NumVars+1)
+		rec[0] = fmt.Sprintf("c%d", i+1)
+		for j := 1; j <= c.NumVars; j++ {
+			rec[j] = "-"
+		}
+		for _, l := range cl {
+			if l.Neg {
+				rec[l.Var] = "0"
+			} else {
+				rec[l.Var] = "1"
+			}
+		}
+		if err := src.Append(rec); err != nil {
+			return nil, err
+		}
+		// Enumerate the 2^k assignments over the clause's variables and
+		// keep the 2^k − 1 models.
+		k := len(cl)
+		for bits := 0; bits < 1<<k; bits++ {
+			truth := make(map[int]bool, k)
+			satisfied := false
+			for li, l := range cl {
+				val := bits&(1<<li) != 0
+				truth[l.Var] = val
+				if val != l.Neg { // literal satisfied
+					satisfied = true
+				}
+			}
+			if !satisfied {
+				continue
+			}
+			trec := rec.Clone()
+			for _, l := range cl {
+				if truth[l.Var] {
+					// Variable true: id leaves the source encoding.
+					trec[l.Var] = rec[l.Var]
+				} else {
+					// Variable false: negation flips it.
+					trec[l.Var] = flip(rec[l.Var])
+				}
+			}
+			if err := tgt.Append(trec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	metas := []metafunc.Meta{metafunc.IdentityMeta{}, metafunc.NegationMeta{}}
+	return delta.NewInstance(src, tgt, metas)
+}
+
+func flip(v string) string {
+	switch v {
+	case "0":
+		return "1"
+	case "1":
+		return "0"
+	}
+	return v
+}
+
+// Solution is the outcome of exactly solving a reduced instance.
+type Solution struct {
+	Explanation *delta.Explanation
+	Cost        float64
+	// Model[v] is the truth value of variable v+1 extracted from the
+	// optimal attribute functions (true ⇔ f_v = id).
+	Model []bool
+	// Satisfiable reports |S^{E−}| = 0 for the optimal explanation: every
+	// clause's source record produced a target record.
+	Satisfiable bool
+}
+
+// Solve exhaustively searches the 2^d interpretations — each a choice of
+// id or negation per variable column — and returns the cheapest valid
+// explanation. Exponential by design: the reduction proves hardness, and
+// this solver witnesses the equivalence on small formulas.
+func Solve(c CNF, alpha float64) (*Solution, error) {
+	inst, err := Reduce(c)
+	if err != nil {
+		return nil, err
+	}
+	cm := delta.CostModel{Alpha: alpha}
+	var best *delta.Explanation
+	bestCost := 0.0
+	bestBits := 0
+	for bits := 0; bits < 1<<c.NumVars; bits++ {
+		funcs := make(delta.FuncTuple, c.NumVars+1)
+		funcs[0] = metafunc.Identity{}
+		for v := 1; v <= c.NumVars; v++ {
+			if bits&(1<<(v-1)) != 0 {
+				funcs[v] = metafunc.Identity{}
+			} else {
+				funcs[v] = metafunc.Negation{}
+			}
+		}
+		e, err := delta.Build(inst, funcs)
+		if err != nil {
+			return nil, err
+		}
+		cost := cm.Cost(e)
+		if best == nil || cost < bestCost {
+			best, bestCost, bestBits = e, cost, bits
+		}
+	}
+	model := make([]bool, c.NumVars)
+	for v := 0; v < c.NumVars; v++ {
+		model[v] = bestBits&(1<<v) != 0
+	}
+	return &Solution{
+		Explanation: best,
+		Cost:        bestCost,
+		Model:       model,
+		Satisfiable: len(best.Deleted) == 0,
+	}, nil
+}
+
+// Check evaluates the formula under a model.
+func (c CNF) Check(model []bool) bool {
+	for _, cl := range c.Clauses {
+		ok := false
+		for _, l := range cl {
+			if model[l.Var-1] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package satreduce_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affidavit/internal/satreduce"
+	"affidavit/internal/search"
+)
+
+func TestFigure2Shape(t *testing.T) {
+	// The paper's example reduces to 3 source and 11 target records over
+	// 5 attributes (#, v1..v4).
+	c := satreduce.Example()
+	inst, err := satreduce.Reduce(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Source.Len() != 3 {
+		t.Errorf("|S| = %d, want 3", inst.Source.Len())
+	}
+	if inst.Target.Len() != 11 {
+		t.Errorf("|T| = %d, want 11", inst.Target.Len())
+	}
+	if inst.NumAttrs() != 5 {
+		t.Errorf("|A| = %d, want 5", inst.NumAttrs())
+	}
+	// Source encoding: c2 = (¬v1 ∨ v4) → (c2, 0, -, -, 1).
+	found := false
+	for i := 0; i < inst.Source.Len(); i++ {
+		r := inst.Source.Record(i)
+		if r[0] == "c2" {
+			found = true
+			if r[1] != "0" || r[2] != "-" || r[3] != "-" || r[4] != "1" {
+				t.Errorf("c2 source = %v, want (c2,0,-,-,1)", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("no source record for c2")
+	}
+}
+
+func TestExampleSatisfiable(t *testing.T) {
+	c := satreduce.Example()
+	sol, err := satreduce.Solve(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Satisfiable {
+		t.Fatal("Figure 2 formula is satisfiable; solver disagrees")
+	}
+	if !c.Check(sol.Model) {
+		t.Errorf("extracted model %v does not satisfy the formula", sol.Model)
+	}
+	if err := sol.Explanation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal cost: |T^{E+}| = 11 − 3 = 8 unexplained targets, L(F) = 0.
+	if got := sol.Cost; got != float64(8*5) {
+		t.Errorf("optimal cost = %v, want 40", got)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	// (v1) ∧ (¬v1): no interpretation satisfies both clauses.
+	c := satreduce.CNF{
+		NumVars: 1,
+		Clauses: []satreduce.Clause{
+			{{Var: 1}},
+			{{Var: 1, Neg: true}},
+		},
+	}
+	sol, err := satreduce.Solve(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Satisfiable {
+		t.Error("unsatisfiable formula reported satisfiable")
+	}
+	if len(sol.Explanation.Deleted) != 1 {
+		t.Errorf("deleted = %d, want exactly 1 (one clause must fail)",
+			len(sol.Explanation.Deleted))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []satreduce.CNF{
+		{NumVars: 0},
+		{NumVars: 1, Clauses: []satreduce.Clause{{}}},
+		{NumVars: 1, Clauses: []satreduce.Clause{{{Var: 2}}}},
+		{NumVars: 1, Clauses: []satreduce.Clause{{{Var: 1}, {Var: 1, Neg: true}}}},
+		{NumVars: 4, Clauses: []satreduce.Clause{{{Var: 1}, {Var: 2}, {Var: 3}, {Var: 4}}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid CNF accepted", i)
+		}
+		if _, err := satreduce.Reduce(c); err == nil {
+			t.Errorf("case %d: Reduce accepted invalid CNF", i)
+		}
+	}
+}
+
+// TestAffidavitSolvesReducedInstance runs the actual heuristic search on a
+// reduced instance: the search space {id, negation, maps} contains the
+// optimum with L(F)=0, and on this small formula the search should find a
+// zero-deletion explanation.
+func TestAffidavitSolvesReducedInstance(t *testing.T) {
+	c := satreduce.CNF{
+		NumVars: 2,
+		Clauses: []satreduce.Clause{
+			{{Var: 1}, {Var: 2}},
+			{{Var: 1, Neg: true}},
+		},
+	}
+	inst, err := satreduce.Reduce(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	opts.Seed = 2
+	res, err := search.Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := satreduce.Solve(c, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > sol.Cost {
+		t.Errorf("heuristic cost %v exceeds optimal %v", res.Cost, sol.Cost)
+	}
+}
+
+// Property: Solve agrees with a direct DPLL-free truth-table check on
+// random small formulas.
+func TestQuickSolveMatchesTruthTable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(3) // 2..4 vars
+		nc := 1 + rng.Intn(4) // 1..4 clauses
+		c := satreduce.CNF{NumVars: nv}
+		for i := 0; i < nc; i++ {
+			size := 1 + rng.Intn(3)
+			perm := rng.Perm(nv)
+			var cl satreduce.Clause
+			for j := 0; j < size && j < nv; j++ {
+				cl = append(cl, satreduce.Literal{Var: perm[j] + 1, Neg: rng.Intn(2) == 0})
+			}
+			c.Clauses = append(c.Clauses, cl)
+		}
+		// Truth-table satisfiability.
+		wantSat := false
+		for bits := 0; bits < 1<<nv; bits++ {
+			m := make([]bool, nv)
+			for v := 0; v < nv; v++ {
+				m[v] = bits&(1<<v) != 0
+			}
+			if c.Check(m) {
+				wantSat = true
+				break
+			}
+		}
+		sol, err := satreduce.Solve(c, 0.5)
+		if err != nil {
+			return false
+		}
+		if sol.Satisfiable != wantSat {
+			return false
+		}
+		if wantSat && !c.Check(sol.Model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reduction's target count is Σ (2^k − 1) over clause sizes k.
+func TestQuickTargetCount(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 5 {
+			return true
+		}
+		c := satreduce.CNF{NumVars: 3}
+		want := 0
+		for i, s := range sizes {
+			k := int(s%3) + 1
+			var cl satreduce.Clause
+			for j := 0; j < k; j++ {
+				cl = append(cl, satreduce.Literal{Var: j + 1, Neg: (int(s)+i+j)%2 == 0})
+			}
+			c.Clauses = append(c.Clauses, cl)
+			want += (1 << k) - 1
+		}
+		inst, err := satreduce.Reduce(c)
+		if err != nil {
+			return false
+		}
+		return inst.Target.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package schemamatch implements the problem variant the paper's
+// conclusions propose as future work: explaining snapshots *without
+// knowledge of the schema alignment*, i.e. when attributes were renamed or
+// reordered between the snapshots. It aligns target attributes to source
+// attributes by comparing value distributions — value overlap, value-length
+// profile, numericness and cardinality — and rewrites the target table into
+// the source schema so the ordinary Explain-Table-Delta machinery applies.
+package schemamatch
+
+import (
+	"fmt"
+	"sort"
+
+	"affidavit/internal/table"
+	"affidavit/internal/value"
+)
+
+// Match is an alignment of target attributes to source attributes.
+type Match struct {
+	// TgtOfSrc[s] is the target attribute position matched to source
+	// attribute s.
+	TgtOfSrc []int
+	// Scores[s] is the similarity score of that pair in [0, 1].
+	Scores []float64
+	// ByName reports whether the match was trivial (equal name sets).
+	ByName bool
+}
+
+// profile summarises one column for similarity scoring.
+type profile struct {
+	values   map[string]bool
+	distinct int
+	avgLen   float64
+	numeric  bool
+	nonEmpty int
+}
+
+// maxProfileValues caps the distinct values kept per column; columns with
+// more are sampled by first occurrence, which suffices for Jaccard-style
+// overlap estimates.
+const maxProfileValues = 4096
+
+func buildProfile(t *table.Table, attr int) profile {
+	p := profile{values: make(map[string]bool)}
+	numericAll := true
+	totalLen := 0
+	for i := 0; i < t.Len(); i++ {
+		v := t.Value(i, attr)
+		if v == "" {
+			continue
+		}
+		p.nonEmpty++
+		totalLen += len(v)
+		if !value.IsNumeric(v) {
+			numericAll = false
+		}
+		if len(p.values) < maxProfileValues {
+			p.values[v] = true
+		}
+	}
+	p.distinct = len(p.values)
+	if p.nonEmpty > 0 {
+		p.avgLen = float64(totalLen) / float64(p.nonEmpty)
+		p.numeric = numericAll
+	}
+	return p
+}
+
+// similarity scores two column profiles in [0, 1].
+func similarity(a, b profile) float64 {
+	// Value overlap (Jaccard).
+	inter := 0
+	small, large := a.values, b.values
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for v := range small {
+		if large[v] {
+			inter++
+		}
+	}
+	union := len(a.values) + len(b.values) - inter
+	jaccard := 0.0
+	if union > 0 {
+		jaccard = float64(inter) / float64(union)
+	}
+	// Length-profile similarity.
+	lenSim := 0.0
+	if a.avgLen > 0 || b.avgLen > 0 {
+		max := a.avgLen
+		if b.avgLen > max {
+			max = b.avgLen
+		}
+		diff := a.avgLen - b.avgLen
+		if diff < 0 {
+			diff = -diff
+		}
+		lenSim = 1 - diff/max
+	}
+	// Type agreement.
+	typeSim := 0.0
+	if a.numeric == b.numeric {
+		typeSim = 1
+	}
+	// Cardinality similarity.
+	cardSim := 0.0
+	if a.distinct > 0 && b.distinct > 0 {
+		lo, hi := a.distinct, b.distinct
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cardSim = float64(lo) / float64(hi)
+	}
+	return 0.5*jaccard + 0.2*lenSim + 0.15*typeSim + 0.15*cardSim
+}
+
+// Attributes aligns target attributes to source attributes. Both snapshots
+// must have the same attribute count. Equal name sets match by name;
+// otherwise a greedy best-pair-first assignment over distribution
+// similarity decides.
+func Attributes(src, tgt *table.Table) (*Match, error) {
+	d := src.Schema().Len()
+	if tgt.Schema().Len() != d {
+		return nil, fmt.Errorf("schemamatch: source has %d attributes, target %d",
+			d, tgt.Schema().Len())
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("schemamatch: empty schemas")
+	}
+	// Trivial case: same name sets (possibly reordered).
+	byName := make([]int, d)
+	trivial := true
+	for s := 0; s < d; s++ {
+		t := tgt.Schema().Index(src.Schema().Attr(s))
+		if t < 0 {
+			trivial = false
+			break
+		}
+		byName[s] = t
+	}
+	if trivial {
+		m := &Match{TgtOfSrc: byName, Scores: make([]float64, d), ByName: true}
+		for s := range m.Scores {
+			m.Scores[s] = 1
+		}
+		return m, nil
+	}
+
+	srcProf := make([]profile, d)
+	tgtProf := make([]profile, d)
+	for a := 0; a < d; a++ {
+		srcProf[a] = buildProfile(src, a)
+		tgtProf[a] = buildProfile(tgt, a)
+	}
+	type pair struct {
+		s, t  int
+		score float64
+	}
+	pairs := make([]pair, 0, d*d)
+	for s := 0; s < d; s++ {
+		for t := 0; t < d; t++ {
+			pairs = append(pairs, pair{s, t, similarity(srcProf[s], tgtProf[t])})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].t < pairs[j].t
+	})
+	m := &Match{TgtOfSrc: make([]int, d), Scores: make([]float64, d)}
+	usedS := make([]bool, d)
+	usedT := make([]bool, d)
+	assigned := 0
+	for _, p := range pairs {
+		if usedS[p.s] || usedT[p.t] {
+			continue
+		}
+		usedS[p.s] = true
+		usedT[p.t] = true
+		m.TgtOfSrc[p.s] = p.t
+		m.Scores[p.s] = p.score
+		assigned++
+		if assigned == d {
+			break
+		}
+	}
+	return m, nil
+}
+
+// AlignTarget rewrites the target table into the source schema: columns are
+// reordered per the match and renamed to the source attribute names, so the
+// pair can be fed to delta.NewInstance.
+func (m *Match) AlignTarget(src, tgt *table.Table) (*table.Table, error) {
+	d := src.Schema().Len()
+	if len(m.TgtOfSrc) != d || tgt.Schema().Len() != d {
+		return nil, fmt.Errorf("schemamatch: match arity %d does not fit tables", len(m.TgtOfSrc))
+	}
+	schema, err := table.NewSchema(src.Schema().Attrs()...)
+	if err != nil {
+		return nil, err
+	}
+	out := table.New(schema)
+	for i := 0; i < tgt.Len(); i++ {
+		rec := make(table.Record, d)
+		for s := 0; s < d; s++ {
+			rec[s] = tgt.Value(i, m.TgtOfSrc[s])
+		}
+		if err := out.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Describe renders the match as "source ← target (score)" lines.
+func (m *Match) Describe(src, tgt *table.Table) string {
+	out := ""
+	for s, t := range m.TgtOfSrc {
+		out += fmt.Sprintf("%s ← %s (%.2f)\n",
+			src.Schema().Attr(s), tgt.Schema().Attr(t), m.Scores[s])
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package schemamatch_test
+
+import (
+	"strings"
+	"testing"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/fixture"
+	"affidavit/internal/schemamatch"
+	"affidavit/internal/search"
+	"affidavit/internal/table"
+)
+
+func TestMatchByNameReordered(t *testing.T) {
+	src := table.MustFromRows(table.MustSchema("a", "b"), []table.Record{{"1", "x"}})
+	tgt := table.MustFromRows(table.MustSchema("b", "a"), []table.Record{{"y", "2"}})
+	m, err := schemamatch.Attributes(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ByName || m.TgtOfSrc[0] != 1 || m.TgtOfSrc[1] != 0 {
+		t.Errorf("match = %+v", m)
+	}
+	aligned, err := m.AlignTarget(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aligned.Schema().Equal(src.Schema()) {
+		t.Error("aligned schema differs")
+	}
+	if aligned.Value(0, 0) != "2" || aligned.Value(0, 1) != "y" {
+		t.Errorf("aligned row wrong: %v", aligned.Record(0))
+	}
+}
+
+func TestMatchRenamedByDistribution(t *testing.T) {
+	// Same data, entirely different attribute names and column order.
+	src := table.MustFromRows(table.MustSchema("city", "amount", "flag"), []table.Record{
+		{"mannheim", "1200", "yes"},
+		{"berlin", "3400", "no"},
+		{"hamburg", "560", "yes"},
+		{"mannheim", "7800", "no"},
+		{"berlin", "90", "yes"},
+	})
+	tgt := table.MustFromRows(table.MustSchema("c1", "c2", "c3"), []table.Record{
+		{"no", "mannheim", "1200"},
+		{"yes", "berlin", "3400"},
+		{"yes", "hamburg", "560"},
+	})
+	m, err := schemamatch.Attributes(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ByName {
+		t.Fatal("should not match by name")
+	}
+	want := []int{1, 2, 0} // city←c2, amount←c3, flag←c1
+	for s, wantT := range want {
+		if m.TgtOfSrc[s] != wantT {
+			t.Errorf("attr %d matched to %d, want %d\n%s",
+				s, m.TgtOfSrc[s], wantT, m.Describe(src, tgt))
+		}
+	}
+	if !strings.Contains(m.Describe(src, tgt), "city ← c2") {
+		t.Error("Describe malformed")
+	}
+}
+
+// TestEndToEndRenamedSnapshot: the future-work pipeline — match renamed
+// schemas, align, then explain — must recover the Figure 1 optimum even
+// when the target schema was renamed and shuffled.
+func TestEndToEndRenamedSnapshot(t *testing.T) {
+	src := table.MustFromRows(fixture.Schema(), fixture.SourceRows())
+	// Target with renamed attributes in a different order:
+	// (Org, ID1, Date, Unit, Type, Val, ID2) under opaque names.
+	perm := []int{fixture.Org, fixture.ID1, fixture.Date, fixture.Unit,
+		fixture.Type, fixture.Val, fixture.ID2}
+	names := []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	var rows []table.Record
+	for _, r := range fixture.TargetRows() {
+		rows = append(rows, table.Record(r).Project(perm))
+	}
+	tgt := table.MustFromRows(table.MustSchema(names...), rows)
+
+	m, err := schemamatch.Attributes(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned, err := m.AlignTarget(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column-content check: Date and Org must land in the right slots (the
+	// distribution profiles are distinctive); the two key columns are
+	// disambiguated by value length (3 vs 4 chars).
+	for s := 0; s < src.Schema().Len(); s++ {
+		if perm[m.TgtOfSrc[s]] != s {
+			t.Errorf("source attr %s matched to original attr %s",
+				src.Schema().Attr(s), fixture.Schema().Attr(perm[m.TgtOfSrc[s]]))
+		}
+	}
+
+	inst, err := delta.NewInstance(src, aligned, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	opts.Seed = 1
+	res, err := search.Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != fixture.ReferenceCost {
+		t.Errorf("cost after schema matching = %v, want %d", res.Cost, fixture.ReferenceCost)
+	}
+}
+
+func TestMatchValidation(t *testing.T) {
+	a := table.MustFromRows(table.MustSchema("x"), nil)
+	b := table.MustFromRows(table.MustSchema("y", "z"), nil)
+	if _, err := schemamatch.Attributes(a, b); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	m := &schemamatch.Match{TgtOfSrc: []int{0, 1}}
+	if _, err := m.AlignTarget(a, a); err == nil {
+		t.Error("bad match arity accepted")
+	}
+}
+
+func TestMatchEmptyColumns(t *testing.T) {
+	// Entirely empty columns must not crash profiling.
+	src := table.MustFromRows(table.MustSchema("a", "b"), []table.Record{{"", "x"}, {"", "y"}})
+	tgt := table.MustFromRows(table.MustSchema("p", "q"), []table.Record{{"x", ""}, {"y", ""}})
+	m, err := schemamatch.Attributes(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The non-empty source column must match the non-empty target column.
+	if m.TgtOfSrc[1] != 0 {
+		t.Errorf("content column mismatched: %+v", m)
+	}
+}

@@ -1,0 +1,72 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the recorded search as a Graphviz digraph in the style of the
+// paper's Figure 4: nodes are search states labelled with their assignment
+// tuple and cost, poll order appears in square brackets, and edges follow
+// the probe/finalize structure. Feed the output to `dot -Tsvg`.
+func (t *TreeTracer) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph affidavit_search {\n")
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	ids := make(map[string]int)
+	nodeID := func(state string) int {
+		if id, ok := ids[state]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[state] = id
+		return id
+	}
+	emitted := make(map[string]bool)
+	emit := func(state string, cost float64, order int) {
+		if emitted[state] {
+			return
+		}
+		emitted[state] = true
+		label := dotEscape(state)
+		if order > 0 {
+			fmt.Fprintf(&sb, "  n%d [label=\"[%d] %s\\nc=%.1f\"];\n",
+				nodeID(state), order, label, cost)
+		} else {
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\nc=%.1f\"];\n",
+				nodeID(state), label, cost)
+		}
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case "poll":
+			emit(ev.State, ev.Cost, ev.Order)
+		case "probe":
+			emit(ev.State, ev.Cost, 0)
+			for _, child := range ev.Kept {
+				emit(child, 0, 0)
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=\"a%d\"];\n",
+					nodeID(ev.State), nodeID(child), ev.Attr)
+			}
+			if ev.MapWon {
+				fmt.Fprintf(&sb, "  n%d -> map%d_%d [style=dashed];\n",
+					nodeID(ev.State), nodeID(ev.State), ev.Attr)
+				fmt.Fprintf(&sb, "  map%d_%d [label=\"⊡ a%d\", shape=diamond];\n",
+					nodeID(ev.State), ev.Attr, ev.Attr)
+			}
+		case "finalize":
+			emit(ev.State, ev.Cost, 0)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	if len(s) > 120 {
+		s = s[:117] + "…"
+	}
+	return s
+}

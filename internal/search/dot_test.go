@@ -1,0 +1,59 @@
+package search_test
+
+import (
+	"strings"
+	"testing"
+
+	"affidavit/internal/fixture"
+	"affidavit/internal/search"
+)
+
+func TestDOTExport(t *testing.T) {
+	inst := fixture.Instance()
+	tr := &search.TreeTracer{}
+	opts := search.DefaultOptions()
+	opts.Beta = 2
+	opts.QueueWidth = 3
+	opts.Seed = 1
+	opts.Tracer = tr
+	if _, err := search.Run(inst, opts); err != nil {
+		t.Fatal(err)
+	}
+	dot := tr.DOT()
+	if !strings.HasPrefix(dot, "digraph affidavit_search {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("not a digraph:\n%.120s", dot)
+	}
+	for _, want := range []string{"rankdir", "->", "⊡", "[1] "} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// Every node referenced by an edge must be declared.
+	for _, line := range strings.Split(dot, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.Contains(line, "->") {
+			continue
+		}
+		from := line[:strings.Index(line, " ->")]
+		if !strings.Contains(dot, from+" [label=") {
+			t.Errorf("edge source %q has no node declaration", from)
+		}
+	}
+}
+
+func TestDOTEscaping(t *testing.T) {
+	tr := &search.TreeTracer{}
+	tr.Events = append(tr.Events, search.TraceEvent{
+		Kind:  "poll",
+		Order: 1,
+		State: `(x ↦ "quoted\value", ` + strings.Repeat("long", 50) + `)`,
+		Cost:  1,
+	})
+	dot := tr.DOT()
+	if strings.Contains(dot, `"quoted\value"`) {
+		t.Error("quotes/backslashes not escaped")
+	}
+	if !strings.Contains(dot, "…") {
+		t.Error("long labels not truncated")
+	}
+}

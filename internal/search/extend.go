@@ -1,0 +1,99 @@
+package search
+
+import (
+	"math/rand"
+
+	"affidavit/internal/align"
+	"affidavit/internal/delta"
+	"affidavit/internal/induce"
+)
+
+// extensions implements the Extensions(H) procedure of Algorithm 1:
+//
+//  1. order undecided attributes by indeterminacy;
+//  2. poll the β most determined ones, sample one random alignment R
+//     respecting Φ_H, and for each polled attribute compare its induced
+//     candidates against the greedy-map probe Hд built from R;
+//  3. keep induced extensions cheaper than Hд; an attribute with none is
+//     remembered as a ⊡ (map-pending) attribute;
+//  4. while nothing was kept, poll the next most determined attribute;
+//  5. if every undecided attribute prefers a map, finalise H by assigning
+//     greedy value mappings one attribute at a time, re-sampling the
+//     alignment after each so later maps respect earlier ones.
+func (e *engine) extensions(h *State) []*State {
+	ordered := h.undecided()
+	if len(ordered) == 0 {
+		return nil
+	}
+	batch := e.opts.Beta
+	if batch > len(ordered) {
+		batch = len(ordered)
+	}
+	r := align.Random(h.blocks, e.rng)
+
+	var ext []*State
+	next := batch
+	queue := append([]int(nil), ordered[:batch]...)
+	for len(ext) == 0 && len(queue) > 0 {
+		for _, a := range queue {
+			ext = append(ext, e.extendAttr(h, a, r)...)
+		}
+		queue = queue[:0]
+		if len(ext) == 0 && next < len(ordered) {
+			queue = append(queue, ordered[next])
+			next++
+		}
+	}
+	if len(ext) == 0 {
+		// Every undecided attribute is ⊡: finalise with greedy maps.
+		return []*State{e.finalize(h)}
+	}
+	return ext
+}
+
+// extendAttr compares the β best induced candidates for one attribute
+// against the greedy-map probe and returns the extensions that beat it.
+func (e *engine) extendAttr(h *State, attr int, r []align.Pair) []*State {
+	g := align.GreedyMap(h.inst, r, attr)
+	hg := h.extend(attr, g, e.cm)
+	cands := induce.Candidates(h.blocks, attr, h.inst.Metas, e.opts.Induce, e.opts.Beta, e.rng)
+	var kept []*State
+	for _, c := range cands {
+		hf := h.extend(attr, c.Func, e.cm)
+		if hf.cost < hg.cost {
+			kept = append(kept, hf)
+		}
+		e.stats.StatesGenerated++
+	}
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.Probe(h, attr, hg, kept)
+	}
+	return kept
+}
+
+// finalize resolves all remaining ⊡ attributes of h with greedy value
+// mappings, most determined attribute first, re-sampling the random
+// alignment after each assignment (Section 4.3).
+func (e *engine) finalize(h *State) *State {
+	cur := h
+	for !cur.IsEnd() {
+		attr := cur.undecided()[0]
+		r := align.Random(cur.blocks, e.rng)
+		g := align.GreedyMap(cur.inst, r, attr)
+		cur = cur.extend(attr, g, e.cm)
+		e.stats.StatesGenerated++
+	}
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.Finalized(h, cur)
+	}
+	return cur
+}
+
+// engine bundles the per-run mutable pieces so the package-level API stays
+// stateless.
+type engine struct {
+	opts  Options
+	cm    delta.CostModel
+	rng   *rand.Rand
+	stats *Stats
+}

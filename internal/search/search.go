@@ -1,0 +1,204 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"affidavit/internal/align"
+	"affidavit/internal/delta"
+	"affidavit/internal/induce"
+	"affidavit/internal/metafunc"
+)
+
+// StartStrategy selects the set of start states H₀ (Section 4.2).
+type StartStrategy int
+
+const (
+	// StartOverlap is Hs: one state whose A^id attributes come from
+	// overlap-score matching. Falls back to StartEmpty when no overlap
+	// pairs survive the block-size threshold.
+	StartOverlap StartStrategy = iota
+	// StartID is H^id: one state per attribute, assuming that attribute
+	// unchanged.
+	StartID
+	// StartEmpty is H∅: the single all-undecided state.
+	StartEmpty
+)
+
+func (s StartStrategy) String() string {
+	switch s {
+	case StartOverlap:
+		return "Hs"
+	case StartID:
+		return "Hid"
+	case StartEmpty:
+		return "H∅"
+	}
+	return fmt.Sprintf("StartStrategy(%d)", int(s))
+}
+
+// Options configures one Affidavit run. The zero value is *not* usable;
+// call DefaultOptions or fill every field.
+type Options struct {
+	// Alpha is the cost parameter α of Definition 3.10. Default 0.5.
+	Alpha float64
+	// Beta is the branching factor β: attributes polled per expansion and
+	// candidates kept per attribute. Default 2.
+	Beta int
+	// QueueWidth is ϱ, the level-bounded queue width. Default 5.
+	QueueWidth int
+	// Start selects H₀. Default StartID.
+	Start StartStrategy
+	// MaxBlockSize is the overlap-matching threshold used by StartOverlap
+	// (pairs per shared value). Default 100000.
+	MaxBlockSize int
+	// Induce carries θ, ρ and the induction caps.
+	Induce induce.Config
+	// Seed drives all sampling; equal seeds give equal searches.
+	Seed int64
+	// MaxExpansions caps polled states as a safety valve; 0 = unlimited.
+	MaxExpansions int
+	// Tracer, when non-nil, observes the search (Figure 4 reproductions).
+	Tracer Tracer
+}
+
+// DefaultOptions returns the paper's H^id evaluation configuration
+// (β = 2, ϱ = 5, α = 0.5, θ = 0.1, ρ = 0.95).
+func DefaultOptions() Options {
+	return Options{
+		Alpha:        0.5,
+		Beta:         2,
+		QueueWidth:   5,
+		Start:        StartID,
+		MaxBlockSize: 100000,
+		Induce:       induce.Defaults,
+	}
+}
+
+// OverlapOptions returns the paper's Hs evaluation configuration
+// (overlap start state, β = 1, ϱ = 1).
+func OverlapOptions() Options {
+	o := DefaultOptions()
+	o.Start = StartOverlap
+	o.Beta = 1
+	o.QueueWidth = 1
+	return o
+}
+
+// Stats reports how much work a run performed.
+type Stats struct {
+	Polls           int           // states extracted from the queue
+	StatesGenerated int           // candidate states costed
+	Enqueued        int           // states admitted to the queue
+	Duration        time.Duration // wall time
+	StartLevel      int           // assignments in the chosen start state(s)
+}
+
+// Result is a finished run: the explanation, its cost, and run statistics.
+type Result struct {
+	Explanation *delta.Explanation
+	Cost        float64
+	Stats       Stats
+}
+
+// Run executes Algorithm 1 on the instance and returns the best explanation
+// found. It falls back to the trivial explanation if the search cannot
+// produce an end state within MaxExpansions.
+func Run(inst *delta.Instance, opts Options) (*Result, error) {
+	if inst.NumAttrs() == 0 {
+		return nil, fmt.Errorf("search: instance has no attributes")
+	}
+	if opts.Beta < 1 {
+		return nil, fmt.Errorf("search: Beta must be ≥ 1, got %d", opts.Beta)
+	}
+	if opts.Alpha < 0 || opts.Alpha > 1 {
+		return nil, fmt.Errorf("search: Alpha must be in [0,1], got %v", opts.Alpha)
+	}
+	start := time.Now()
+	e := &engine{
+		opts:  opts,
+		cm:    delta.CostModel{Alpha: opts.Alpha},
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		stats: &Stats{},
+	}
+	q := newQueue(opts.QueueWidth)
+	for _, s := range e.startStates(inst) {
+		if q.Add(s) {
+			e.stats.Enqueued++
+		}
+		if s.level > e.stats.StartLevel {
+			e.stats.StartLevel = s.level
+		}
+	}
+
+	var end *State
+	for q.Len() > 0 {
+		h := q.Poll()
+		e.stats.Polls++
+		if opts.Tracer != nil {
+			opts.Tracer.Polled(h, e.stats.Polls)
+		}
+		if h.IsEnd() {
+			end = h
+			break
+		}
+		if opts.MaxExpansions > 0 && e.stats.Polls >= opts.MaxExpansions {
+			break
+		}
+		for _, child := range e.extensions(h) {
+			if q.Add(child) {
+				e.stats.Enqueued++
+			}
+		}
+	}
+	e.stats.Duration = time.Since(start)
+
+	var expl *delta.Explanation
+	if end != nil {
+		tuple := make(delta.FuncTuple, len(end.funcs))
+		copy(tuple, end.funcs)
+		var err error
+		expl, err = delta.Build(inst, tuple)
+		if err != nil {
+			return nil, fmt.Errorf("search: converting end state: %w", err)
+		}
+	} else {
+		expl = delta.Trivial(inst)
+	}
+	if err := expl.Validate(); err != nil {
+		return nil, fmt.Errorf("search: produced invalid explanation: %w", err)
+	}
+	return &Result{
+		Explanation: expl,
+		Cost:        e.cm.Cost(expl),
+		Stats:       *e.stats,
+	}, nil
+}
+
+// startStates builds H₀ for the configured strategy (Section 4.2).
+func (e *engine) startStates(inst *delta.Instance) []*State {
+	root := newRoot(inst, e.cm)
+	switch e.opts.Start {
+	case StartEmpty:
+		return []*State{root}
+	case StartID:
+		states := make([]*State, 0, inst.NumAttrs())
+		for a := 0; a < inst.NumAttrs(); a++ {
+			states = append(states, root.extend(a, metafunc.Identity{}, e.cm))
+		}
+		return states
+	case StartOverlap:
+		ov := align.ComputeOverlap(inst, e.opts.MaxBlockSize)
+		attrs := ov.StartAttrs(inst)
+		if len(attrs) == 0 {
+			return []*State{root}
+		}
+		s := root
+		for _, a := range attrs {
+			s = s.extend(a, metafunc.Identity{}, e.cm)
+		}
+		return []*State{s}
+	}
+	return []*State{root}
+}

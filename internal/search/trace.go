@@ -1,0 +1,104 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tracer observes a run. Implementations must be cheap; the search calls
+// them synchronously.
+type Tracer interface {
+	// Polled fires when a state is extracted from the queue; order is the
+	// 1-based extraction index (the bracketed numbers of Figure 4).
+	Polled(h *State, order int)
+	// Probe fires after an attribute's candidates were compared against the
+	// greedy-map probe hg; kept holds the extensions that beat it.
+	Probe(parent *State, attr int, hg *State, kept []*State)
+	// Finalized fires when a state's remaining attributes were resolved
+	// with greedy value mappings.
+	Finalized(from, end *State)
+}
+
+// TreeTracer records the search tree for rendering (Figure 4). It is not
+// safe for concurrent use.
+type TreeTracer struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one recorded step.
+type TraceEvent struct {
+	Kind   string // "poll", "probe", "finalize"
+	Order  int    // poll order, for Kind == "poll"
+	State  string // rendered state
+	Cost   float64
+	Attr   int      // probed attribute, for Kind == "probe"
+	Kept   []string // accepted extensions, for Kind == "probe"
+	MapWon bool     // greedy map beat every candidate, for Kind == "probe"
+}
+
+var _ Tracer = (*TreeTracer)(nil)
+
+// Polled implements Tracer.
+func (t *TreeTracer) Polled(h *State, order int) {
+	t.Events = append(t.Events, TraceEvent{
+		Kind:  "poll",
+		Order: order,
+		State: h.Describe(),
+		Cost:  h.Cost(),
+	})
+}
+
+// Probe implements Tracer.
+func (t *TreeTracer) Probe(parent *State, attr int, hg *State, kept []*State) {
+	ev := TraceEvent{
+		Kind:   "probe",
+		State:  parent.Describe(),
+		Attr:   attr,
+		Cost:   hg.Cost(),
+		MapWon: len(kept) == 0,
+	}
+	for _, k := range kept {
+		ev.Kept = append(ev.Kept, k.Describe())
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// Finalized implements Tracer.
+func (t *TreeTracer) Finalized(from, end *State) {
+	t.Events = append(t.Events, TraceEvent{
+		Kind:  "finalize",
+		State: end.Describe(),
+		Cost:  end.Cost(),
+	})
+}
+
+// Polls returns the states in extraction order.
+func (t *TreeTracer) Polls() []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range t.Events {
+		if ev.Kind == "poll" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders the recorded tree as an indented log.
+func (t *TreeTracer) String() string {
+	var sb strings.Builder
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case "poll":
+			fmt.Fprintf(&sb, "[%d] poll  %s  c=%.1f\n", ev.Order, ev.State, ev.Cost)
+		case "probe":
+			verdict := fmt.Sprintf("%d extensions", len(ev.Kept))
+			if ev.MapWon {
+				verdict = "⊡ (greedy map wins)"
+			}
+			fmt.Fprintf(&sb, "      probe a%d of %s → %s\n", ev.Attr, ev.State, verdict)
+		case "finalize":
+			fmt.Fprintf(&sb, "      finalize → %s  c=%.1f\n", ev.State, ev.Cost)
+		}
+	}
+	return sb.String()
+}

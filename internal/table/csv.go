@@ -1,0 +1,72 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a table from CSV. The first row is the header and becomes
+// the schema. Rows must be rectangular.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate ourselves for a better message
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table: csv has no header row")
+	}
+	schema, err := NewSchema(rows[0]...)
+	if err != nil {
+		return nil, err
+	}
+	t := New(schema)
+	for i, row := range rows[1:] {
+		if len(row) != schema.Len() {
+			return nil, fmt.Errorf("table: csv row %d has %d fields, header has %d", i+2, len(row), schema.Len())
+		}
+		t.records = append(t.records, Record(row).Clone())
+	}
+	return t, nil
+}
+
+// ReadCSVFile parses a table from the CSV file at path.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV renders the table as CSV, header first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.attrs); err != nil {
+		return err
+	}
+	for _, r := range t.records {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the CSV file at path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,326 @@
+// Package table provides the relational substrate: schemas, records, table
+// snapshots, column statistics and CSV import/export. Every record is a
+// tuple of string values under a shared schema, matching the paper's
+// Definition 3.1 where source and target snapshots are sets of value tuples
+// under the same attribute tuple A.
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"affidavit/internal/value"
+)
+
+// Schema is an ordered tuple of attribute names.
+type Schema struct {
+	attrs []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute names. Names must be unique and
+// non-empty.
+func NewSchema(attrs ...string) (*Schema, error) {
+	s := &Schema{
+		attrs: append([]string(nil), attrs...),
+		index: make(map[string]int, len(attrs)),
+	}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("table: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a]; dup {
+			return nil, fmt.Errorf("table: duplicate attribute name %q", a)
+		}
+		s.index[a] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for fixtures and tests.
+func MustSchema(attrs ...string) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes d = |A|.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the name of attribute i.
+func (s *Schema) Attr(i int) string { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute name tuple.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical attribute tuples.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithAttr returns a new schema with one attribute appended.
+func (s *Schema) WithAttr(name string) (*Schema, error) {
+	return NewSchema(append(s.Attrs(), name)...)
+}
+
+// WithoutAttrs returns a new schema omitting the attributes at the given
+// positions, together with the mapping from new positions to old ones.
+func (s *Schema) WithoutAttrs(drop map[int]bool) (*Schema, []int) {
+	var kept []string
+	var old []int
+	for i, a := range s.attrs {
+		if !drop[i] {
+			kept = append(kept, a)
+			old = append(old, i)
+		}
+	}
+	ns, err := NewSchema(kept...)
+	if err != nil {
+		// Dropping attributes cannot introduce duplicates or empties.
+		panic(err)
+	}
+	return ns, old
+}
+
+// Record is one value tuple. Records are value types; helpers copy rather
+// than alias unless documented otherwise.
+type Record []string
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record { return append(Record(nil), r...) }
+
+// Equal reports field-wise equality.
+func (r Record) Equal(o Record) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for the full tuple, suitable for
+// multiset grouping. Values are length-prefixed so no separator collision
+// can merge distinct tuples.
+func (r Record) Key() string {
+	var sb strings.Builder
+	for _, v := range r {
+		fmt.Fprintf(&sb, "%d:", len(v))
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// Project returns the sub-tuple at the given attribute positions.
+func (r Record) Project(cols []int) Record {
+	p := make(Record, len(cols))
+	for i, c := range cols {
+		p[i] = r[c]
+	}
+	return p
+}
+
+// Table is a snapshot: a schema plus a multiset of records.
+type Table struct {
+	schema  *Schema
+	records []Record
+}
+
+// New creates an empty table under the given schema.
+func New(s *Schema) *Table {
+	return &Table{schema: s}
+}
+
+// FromRows builds a table from a schema and rows, validating widths.
+func FromRows(s *Schema, rows []Record) (*Table, error) {
+	t := New(s)
+	for i, r := range rows {
+		if len(r) != s.Len() {
+			return nil, fmt.Errorf("table: row %d has %d values, schema has %d attributes", i, len(r), s.Len())
+		}
+		t.records = append(t.records, r.Clone())
+	}
+	return t, nil
+}
+
+// MustFromRows is FromRows that panics on error, for fixtures and tests.
+func MustFromRows(s *Schema, rows []Record) *Table {
+	t, err := FromRows(s, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.records) }
+
+// Record returns record i without copying; callers must not mutate it.
+func (t *Table) Record(i int) Record { return t.records[i] }
+
+// Value returns the value of attribute a in record i.
+func (t *Table) Value(i, a int) string { return t.records[i][a] }
+
+// Append adds a record (validated against the schema).
+func (t *Table) Append(r Record) error {
+	if len(r) != t.schema.Len() {
+		return fmt.Errorf("table: record has %d values, schema has %d attributes", len(r), t.schema.Len())
+	}
+	t.records = append(t.records, r.Clone())
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New(t.schema)
+	c.records = make([]Record, len(t.records))
+	for i, r := range t.records {
+		c.records[i] = r.Clone()
+	}
+	return c
+}
+
+// Select returns a new table containing the records at the given indices
+// (records are copied).
+func (t *Table) Select(idx []int) *Table {
+	c := New(t.schema)
+	c.records = make([]Record, len(idx))
+	for i, j := range idx {
+		c.records[i] = t.records[j].Clone()
+	}
+	return c
+}
+
+// Column returns a copy of attribute a's values in record order.
+func (t *Table) Column(a int) []string {
+	col := make([]string, len(t.records))
+	for i, r := range t.records {
+		col[i] = r[a]
+	}
+	return col
+}
+
+// DropAttrs returns a new table without the attributes at the given
+// positions.
+func (t *Table) DropAttrs(drop map[int]bool) *Table {
+	ns, old := t.schema.WithoutAttrs(drop)
+	c := New(ns)
+	c.records = make([]Record, len(t.records))
+	for i, r := range t.records {
+		c.records[i] = r.Project(old)
+	}
+	return c
+}
+
+// WithColumn returns a new table with one attribute appended whose value in
+// record i is col[i]. len(col) must equal t.Len().
+func (t *Table) WithColumn(name string, col []string) (*Table, error) {
+	if len(col) != t.Len() {
+		return nil, fmt.Errorf("table: column has %d values, table has %d records", len(col), t.Len())
+	}
+	ns, err := t.schema.WithAttr(name)
+	if err != nil {
+		return nil, err
+	}
+	c := New(ns)
+	c.records = make([]Record, t.Len())
+	for i, r := range t.records {
+		c.records[i] = append(r.Clone(), col[i])
+	}
+	return c, nil
+}
+
+// ColumnStats summarises one attribute, driving both the generator's domain
+// detection and the >0.7-distinct-ratio filter from Section 5.1.
+type ColumnStats struct {
+	Attr          string
+	Distinct      int
+	NonEmpty      int
+	NumericAll    bool // every non-empty value parses as a decimal
+	CanonicalAll  bool // every non-empty value is in canonical numeric form
+	DistinctRatio float64
+}
+
+// Stats computes ColumnStats for attribute a.
+func (t *Table) Stats(a int) ColumnStats {
+	st := ColumnStats{Attr: t.schema.Attr(a), NumericAll: true, CanonicalAll: true}
+	seen := make(map[string]bool)
+	for _, r := range t.records {
+		v := r[a]
+		if !seen[v] {
+			seen[v] = true
+		}
+		if v == "" {
+			continue
+		}
+		st.NonEmpty++
+		if !value.IsNumeric(v) {
+			st.NumericAll = false
+			st.CanonicalAll = false
+		} else if !value.IsCanonical(v) {
+			st.CanonicalAll = false
+		}
+	}
+	st.Distinct = len(seen)
+	if t.Len() > 0 {
+		st.DistinctRatio = float64(st.Distinct) / float64(t.Len())
+	}
+	if st.NonEmpty == 0 {
+		st.NumericAll = false
+		st.CanonicalAll = false
+	}
+	return st
+}
+
+// AllStats computes stats for every attribute.
+func (t *Table) AllStats() []ColumnStats {
+	out := make([]ColumnStats, t.schema.Len())
+	for a := range out {
+		out[a] = t.Stats(a)
+	}
+	return out
+}
+
+// String renders a compact preview (schema plus up to 8 rows) for debugging.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.schema.attrs, " | "))
+	sb.WriteByte('\n')
+	n := len(t.records)
+	shown := n
+	if shown > 8 {
+		shown = 8
+	}
+	for i := 0; i < shown; i++ {
+		sb.WriteString(strings.Join(t.records[i], " | "))
+		sb.WriteByte('\n')
+	}
+	if shown < n {
+		fmt.Fprintf(&sb, "… (%d more rows)\n", n-shown)
+	}
+	return sb.String()
+}

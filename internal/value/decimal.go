@@ -1,0 +1,238 @@
+// Package value provides exact decimal arithmetic on attribute values.
+//
+// Attribute values in a problem instance are strings. The numeric meta
+// functions (addition, division, multiplication) must reproduce the string
+// formatting conventions of the paper's running example exactly:
+// 6540 / 1000 must print as "6.54", 80000 / 1000 as "80", 0 / 1000 as "0".
+// Floating point cannot guarantee this, so all numeric work is done on
+// big.Rat values with a canonical decimal formatter.
+package value
+
+import (
+	"math/big"
+	"strings"
+)
+
+// maxFracDigits bounds the decimal expansion produced by Format. A rational
+// whose reduced denominator contains prime factors other than 2 and 5 has a
+// non-terminating decimal expansion; such values are reported as not
+// representable rather than silently rounded, because a rounded value could
+// never equal an observed attribute value anyway.
+const maxFracDigits = 24
+
+// Decimal is an immutable exact decimal number.
+type Decimal struct {
+	rat big.Rat
+}
+
+// Parse interprets s as a decimal number. It accepts an optional leading
+// sign, digits, and at most one decimal point ("-12", "0.065", "+3.",
+// ".5"). It rejects empty strings, lone signs/points, exponents, and any
+// other character. The boolean reports success.
+func Parse(s string) (Decimal, bool) {
+	if len(s) == 0 {
+		return Decimal{}, false
+	}
+	i := 0
+	if s[i] == '+' || s[i] == '-' {
+		i++
+	}
+	digits, points := 0, 0
+	for ; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+			digits++
+		case s[i] == '.':
+			points++
+			if points > 1 {
+				return Decimal{}, false
+			}
+		default:
+			return Decimal{}, false
+		}
+	}
+	if digits == 0 {
+		return Decimal{}, false
+	}
+	var r big.Rat
+	if _, ok := r.SetString(normalizeForSetString(s)); !ok {
+		return Decimal{}, false
+	}
+	return Decimal{rat: r}, true
+}
+
+// normalizeForSetString massages forms big.Rat.SetString rejects
+// ("3." and ".5") into acceptable ones.
+func normalizeForSetString(s string) string {
+	if strings.HasSuffix(s, ".") {
+		return s + "0"
+	}
+	core := strings.TrimLeft(s, "+-")
+	if strings.HasPrefix(core, ".") {
+		return s[:len(s)-len(core)] + "0" + core
+	}
+	return s
+}
+
+// IsNumeric reports whether s parses as a decimal number.
+func IsNumeric(s string) bool {
+	_, ok := Parse(s)
+	return ok
+}
+
+// FromInt returns the decimal for an integer.
+func FromInt(n int64) Decimal {
+	var d Decimal
+	d.rat.SetInt64(n)
+	return d
+}
+
+// Format renders d in canonical form: minus sign for negatives, no leading
+// zeros (except a single "0" before the point), no trailing fractional
+// zeros, no decimal point unless needed, and "0" for zero. The boolean is
+// false if the decimal expansion does not terminate within maxFracDigits.
+func (d Decimal) Format() (string, bool) {
+	num := new(big.Int).Set(d.rat.Num())
+	den := new(big.Int).Set(d.rat.Denom())
+	neg := num.Sign() < 0
+	if neg {
+		num.Neg(num)
+	}
+	if num.Sign() == 0 {
+		return "0", true
+	}
+	// Scale the denominator to a power of ten by factoring out 2s and 5s.
+	// After reduction by big.Rat, den = 2^a * 5^b iff the expansion
+	// terminates; we multiply num so that den becomes 10^max(a,b).
+	a, b := 0, 0
+	two, five, ten := big.NewInt(2), big.NewInt(5), big.NewInt(10)
+	rem := new(big.Int)
+	work := new(big.Int).Set(den)
+	for {
+		q, r := new(big.Int).QuoRem(work, two, rem)
+		if r.Sign() != 0 {
+			break
+		}
+		work = q
+		a++
+	}
+	for {
+		q, r := new(big.Int).QuoRem(work, five, rem)
+		if r.Sign() != 0 {
+			break
+		}
+		work = q
+		b++
+	}
+	if work.Cmp(big.NewInt(1)) != 0 {
+		return "", false // non-terminating decimal expansion
+	}
+	frac := a
+	if b > a {
+		frac = b
+	}
+	if frac > maxFracDigits {
+		return "", false
+	}
+	// num/den == num * 10^frac / den / 10^frac; den divides 10^frac.
+	scale := new(big.Int).Exp(ten, big.NewInt(int64(frac)), nil)
+	scaled := new(big.Int).Mul(num, scale)
+	scaled.Quo(scaled, den)
+	digits := scaled.String()
+	var sb strings.Builder
+	if neg {
+		sb.WriteByte('-')
+	}
+	if frac == 0 {
+		sb.WriteString(digits)
+		return sb.String(), true
+	}
+	if len(digits) <= frac {
+		digits = strings.Repeat("0", frac-len(digits)+1) + digits
+	}
+	intPart := digits[:len(digits)-frac]
+	fracPart := strings.TrimRight(digits[len(digits)-frac:], "0")
+	sb.WriteString(intPart)
+	if fracPart != "" {
+		sb.WriteByte('.')
+		sb.WriteString(fracPart)
+	}
+	return sb.String(), true
+}
+
+// Add returns d + o.
+func (d Decimal) Add(o Decimal) Decimal {
+	var r Decimal
+	r.rat.Add(&d.rat, &o.rat)
+	return r
+}
+
+// Sub returns d − o.
+func (d Decimal) Sub(o Decimal) Decimal {
+	var r Decimal
+	r.rat.Sub(&d.rat, &o.rat)
+	return r
+}
+
+// Mul returns d · o.
+func (d Decimal) Mul(o Decimal) Decimal {
+	var r Decimal
+	r.rat.Mul(&d.rat, &o.rat)
+	return r
+}
+
+// Div returns d / o. The boolean is false when o is zero.
+func (d Decimal) Div(o Decimal) (Decimal, bool) {
+	if o.rat.Sign() == 0 {
+		return Decimal{}, false
+	}
+	var r Decimal
+	r.rat.Quo(&d.rat, &o.rat)
+	return r, true
+}
+
+// IsZero reports whether d is zero.
+func (d Decimal) IsZero() bool { return d.rat.Sign() == 0 }
+
+// IsOne reports whether d is one.
+func (d Decimal) IsOne() bool { return d.rat.Cmp(big.NewRat(1, 1)) == 0 }
+
+// Cmp compares d and o, returning -1, 0, or +1.
+func (d Decimal) Cmp(o Decimal) int { return d.rat.Cmp(&o.rat) }
+
+// Equal reports whether d and o denote the same number.
+func (d Decimal) Equal(o Decimal) bool { return d.Cmp(o) == 0 }
+
+// String implements fmt.Stringer using the canonical format; values with
+// non-terminating expansions render with a trailing "…" marker (they can
+// never equal an attribute value, so this form is for diagnostics only).
+func (d Decimal) String() string {
+	if s, ok := d.Format(); ok {
+		return s
+	}
+	f, _ := d.rat.Float64()
+	return big.NewRat(0, 1).SetFloat64(f).FloatString(6) + "…"
+}
+
+// RatString returns the exact num/den form, used to build collision-free
+// markers for values whose decimal expansion does not terminate.
+func (d Decimal) RatString() string { return d.rat.RatString() }
+
+// Canonical parses s and re-formats it canonically. The boolean is false
+// when s is not numeric or has a non-terminating expansion (impossible for
+// parsed decimals, but kept for symmetry).
+func Canonical(s string) (string, bool) {
+	d, ok := Parse(s)
+	if !ok {
+		return "", false
+	}
+	return d.Format()
+}
+
+// IsCanonical reports whether s is numeric and already in canonical form.
+// Numeric meta functions only announce their effect on canonical inputs;
+// zero-padded identifiers like "0042" stay out of numeric territory.
+func IsCanonical(s string) bool {
+	c, ok := Canonical(s)
+	return ok && c == s
+}

@@ -1,0 +1,250 @@
+package value
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	valid := []string{
+		"0", "1", "-1", "+1", "12345", "-12345",
+		"0.5", ".5", "-.5", "3.", "-3.", "0.065", "99991231",
+		"6540", "6.54", "0.000001", "-0.000001", "0000", "007",
+	}
+	for _, s := range valid {
+		if _, ok := Parse(s); !ok {
+			t.Errorf("Parse(%q) = not ok, want ok", s)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	invalid := []string{
+		"", "+", "-", ".", "+.", "-.", "1.2.3", "1e5", "0x10",
+		"12a", "a12", " 1", "1 ", "1,000", "NaN", "Inf", "--1", "+-1",
+	}
+	for _, s := range invalid {
+		if _, ok := Parse(s); ok {
+			t.Errorf("Parse(%q) = ok, want not ok", s)
+		}
+	}
+}
+
+func TestFormatCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"0", "0"},
+		{"0000", "0"},
+		{"007", "7"},
+		{"-0", "0"},
+		{"1.500", "1.5"},
+		{"0.50", "0.5"},
+		{".5", "0.5"},
+		{"3.", "3"},
+		{"-3.25", "-3.25"},
+		{"80000", "80000"},
+		{"0.065", "0.065"},
+		{"6.54", "6.54"},
+		{"99991231", "99991231"},
+	}
+	for _, c := range cases {
+		d, ok := Parse(c.in)
+		if !ok {
+			t.Fatalf("Parse(%q) failed", c.in)
+		}
+		got, ok := d.Format()
+		if !ok || got != c.want {
+			t.Errorf("Format(Parse(%q)) = %q,%v; want %q", c.in, got, ok, c.want)
+		}
+	}
+}
+
+func TestRunningExampleDivision(t *testing.T) {
+	// Figure 1: f_Val : x -> x / 1000.
+	thousand := FromInt(1000)
+	cases := []struct{ in, want string }{
+		{"80000", "80"},
+		{"180000", "180"},
+		{"220000", "220"},
+		{"3780000", "3780"},
+		{"425000", "425"},
+		{"21000", "21"},
+		{"422400", "422.4"},
+		{"6540", "6.54"},
+		{"9800", "9.8"},
+		{"0", "0"},
+		{"65", "0.065"},
+	}
+	for _, c := range cases {
+		d, ok := Parse(c.in)
+		if !ok {
+			t.Fatalf("Parse(%q) failed", c.in)
+		}
+		q, ok := d.Div(thousand)
+		if !ok {
+			t.Fatalf("Div(%q, 1000) not ok", c.in)
+		}
+		got, ok := q.Format()
+		if !ok || got != c.want {
+			t.Errorf("%s/1000 = %q,%v; want %q", c.in, got, ok, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	p := func(s string) Decimal {
+		d, ok := Parse(s)
+		if !ok {
+			t.Fatalf("Parse(%q) failed", s)
+		}
+		return d
+	}
+	if got, _ := p("6540").Add(p("-6530.2")).Format(); got != "9.8" {
+		t.Errorf("6540 + (-6530.2) = %q, want 9.8", got)
+	}
+	if got, _ := p("0").Add(p("9.8")).Format(); got != "9.8" {
+		t.Errorf("0 + 9.8 = %q, want 9.8", got)
+	}
+	if got, _ := p("1.5").Mul(p("4")).Format(); got != "6" {
+		t.Errorf("1.5 * 4 = %q, want 6", got)
+	}
+	if got, _ := p("10").Sub(p("0.1")).Format(); got != "9.9" {
+		t.Errorf("10 - 0.1 = %q, want 9.9", got)
+	}
+	if _, ok := p("1").Div(p("0")); ok {
+		t.Error("1/0 should not be ok")
+	}
+}
+
+func TestNonTerminatingExpansion(t *testing.T) {
+	one := FromInt(1)
+	three := FromInt(3)
+	q, ok := one.Div(three)
+	if !ok {
+		t.Fatal("1/3 Div failed")
+	}
+	if _, ok := q.Format(); ok {
+		t.Error("Format(1/3) should report non-terminating")
+	}
+	if !strings.HasSuffix(q.String(), "…") {
+		t.Errorf("String(1/3) = %q, want diagnostic ellipsis suffix", q.String())
+	}
+}
+
+func TestIsCanonical(t *testing.T) {
+	canon := []string{"0", "7", "-3.25", "0.5", "99991231", "6.54"}
+	for _, s := range canon {
+		if !IsCanonical(s) {
+			t.Errorf("IsCanonical(%q) = false, want true", s)
+		}
+	}
+	notCanon := []string{"0000", "007", "1.50", ".5", "3.", "+1", "-0", "abc", ""}
+	for _, s := range notCanon {
+		if IsCanonical(s) {
+			t.Errorf("IsCanonical(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	zero, _ := Parse("0.000")
+	if !zero.IsZero() {
+		t.Error("0.000 should be zero")
+	}
+	one, _ := Parse("1.0")
+	if !one.IsOne() {
+		t.Error("1.0 should be one")
+	}
+	if zero.IsOne() || one.IsZero() {
+		t.Error("predicate cross-talk")
+	}
+	if one.Cmp(zero) != 1 || zero.Cmp(one) != -1 || one.Cmp(one) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if !one.Equal(one) || one.Equal(zero) {
+		t.Error("Equal wrong")
+	}
+}
+
+// Property: Format ∘ Parse is idempotent — re-parsing a canonical form and
+// formatting again yields the same string.
+func TestQuickFormatIdempotent(t *testing.T) {
+	f := func(n int64, frac uint8) bool {
+		d := FromInt(n)
+		den := FromInt(int64(1))
+		for i := 0; i < int(frac%6); i++ {
+			den = den.Mul(FromInt(10))
+		}
+		q, ok := d.Div(den)
+		if !ok {
+			return true
+		}
+		s1, ok := q.Format()
+		if !ok {
+			return false
+		}
+		d2, ok := Parse(s1)
+		if !ok {
+			return false
+		}
+		s2, ok := d2.Format()
+		return ok && s1 == s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse agrees with big.Rat on plain integer strings.
+func TestQuickParseMatchesBigRat(t *testing.T) {
+	f := func(n int64) bool {
+		d := FromInt(n)
+		s, ok := d.Format()
+		if !ok {
+			return false
+		}
+		var r big.Rat
+		if _, ok := r.SetString(s); !ok {
+			return false
+		}
+		return r.Cmp(big.NewRat(0, 1).SetInt64(n)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverses.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := FromInt(int64(a)), FromInt(int64(b))
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul and Div are inverses for non-zero divisors.
+func TestQuickMulDivInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		x, y := FromInt(int64(a)), FromInt(int64(b))
+		q, ok := x.Mul(y).Div(y)
+		return ok && q.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseFormat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, _ := Parse("422400")
+		q, _ := d.Div(FromInt(1000))
+		q.Format()
+	}
+}
