@@ -98,6 +98,10 @@ type Options struct {
 	Seed int64
 	// MaxExpansions caps search-state expansions; 0 = unlimited.
 	MaxExpansions int
+	// Workers bounds how many search probes run concurrently. 0 or 1 runs
+	// sequentially; for any fixed Seed the parallel and sequential engines
+	// return identical explanations.
+	Workers int
 	// ExtraMetas extends the built-in meta-function library with
 	// domain-specific families (see Meta).
 	ExtraMetas []Meta
@@ -150,6 +154,7 @@ func (o Options) toSearch() search.Options {
 	}
 	so.Seed = o.Seed
 	so.MaxExpansions = o.MaxExpansions
+	so.Workers = o.Workers
 	return so
 }
 

@@ -20,6 +20,7 @@ package affidavit_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"affidavit/internal/blocking"
@@ -174,25 +175,39 @@ func BenchmarkFigure5Rows(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Each scale runs both engines: "seq" is the sequential baseline, "par"
+	// the worker-pool engine at GOMAXPROCS workers. Equal seeds make the
+	// two solve the identical search tree, so the ratio is a pure engine
+	// comparison (on multi-core hosts par/seq shows the worker-pool
+	// speedup; at GOMAXPROCS=1 the two coincide).
 	for _, pct := range []int{20, 40, 60, 80, 100} {
-		b.Run(fmt.Sprintf("scale%d", pct), func(b *testing.B) {
-			p := base
-			if pct < 100 {
-				var err error
-				p, err = base.Scale(float64(pct)/100, int64(pct))
-				if err != nil {
-					b.Fatal(err)
-				}
+		p := base
+		if pct < 100 {
+			var err error
+			p, err = base.Scale(float64(pct)/100, int64(pct))
+			if err != nil {
+				b.Fatal(err)
 			}
-			opts := search.DefaultOptions()
-			opts.Seed = 1
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
-					b.Fatal(err)
+		}
+		for _, engine := range []struct {
+			name    string
+			workers int
+		}{
+			{"seq", 1},
+			{"par", runtime.GOMAXPROCS(0)},
+		} {
+			b.Run(fmt.Sprintf("scale%d/%s", pct, engine.name), func(b *testing.B) {
+				opts := search.DefaultOptions()
+				opts.Seed = 1
+				opts.Workers = engine.workers
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := search.Run(p.Inst, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

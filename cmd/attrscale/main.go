@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"affidavit/internal/eval"
 	"affidavit/internal/search"
@@ -20,15 +21,18 @@ import (
 
 func main() {
 	var (
-		fdRows = flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
-		seed   = flag.Int64("seed", 1, "random seed")
+		fdRows  = flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
 	)
 	flag.Parse()
 
+	opts := search.DefaultOptions()
+	opts.Workers = *workers
 	points, err := eval.Figure6(eval.Figure6Spec{
 		Rows: map[string]int{"fd-red-30": *fdRows},
 		Seed: *seed,
-		Opts: search.DefaultOptions(),
+		Opts: opts,
 		Progress: func(p eval.AttrPoint) {
 			fmt.Fprintf(os.Stderr, "done %-12s |A|=%d: %v\n",
 				p.Dataset, p.Attrs, p.Time.Round(1e6))

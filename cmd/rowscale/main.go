@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,6 +26,7 @@ func main() {
 		baseRows = flag.Int("base-rows", 50000, "records at factor 100% (paper: 500000)")
 		factors  = flag.String("factors", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "comma-separated scaling factors")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
 	)
 	flag.Parse()
 
@@ -37,11 +39,13 @@ func main() {
 		}
 		fs = append(fs, f)
 	}
+	opts := search.DefaultOptions()
+	opts.Workers = *workers
 	points, err := eval.Figure5(eval.Figure5Spec{
 		BaseRows: *baseRows,
 		Factors:  fs,
 		Seed:     *seed,
-		Opts:     search.DefaultOptions(),
+		Opts:     opts,
 		Progress: func(p eval.ScalePoint) {
 			fmt.Fprintf(os.Stderr, "done %3.0f%% (%d rows): %v\n",
 				p.Factor*100, p.Rows, p.Time.Round(1e6))

@@ -1,0 +1,3 @@
+module affidavit
+
+go 1.21

@@ -47,27 +47,30 @@ func Random(r *blocking.Result, rng *rand.Rand) []Pair {
 // each source value maps to the target value it co-occurs with most often.
 // Ties break deterministically towards the lexicographically smaller target
 // value so that equal seeds give equal searches.
+//
+// Co-occurrences are counted on interned value codes; tie-breaking compares
+// the underlying strings (code order is not deterministic).
 func GreedyMap(inst *delta.Instance, pairs []Pair, attr int) *metafunc.Mapping {
-	co := make(map[string]map[string]int)
+	coded := inst.Coded()
+	srcCodes, tgtCodes := coded.Src[attr], coded.Tgt[attr]
+	dict := coded.Dicts[attr]
+	counts := make(map[int64]int)
 	for _, p := range pairs {
-		sv := inst.Source.Value(int(p.S), attr)
-		tv := inst.Target.Value(int(p.T), attr)
-		m, ok := co[sv]
-		if !ok {
-			m = make(map[string]int)
-			co[sv] = m
-		}
-		m[tv]++
+		counts[int64(srcCodes[p.S])<<32|int64(tgtCodes[p.T])]++
 	}
-	entries := make(map[string]string, len(co))
-	for sv, m := range co {
-		best, bestN := "", -1
-		for tv, n := range m {
-			if n > bestN || (n == bestN && tv < best) {
-				best, bestN = tv, n
-			}
+	bestT := make(map[int32]int32)
+	bestN := make(map[int32]int)
+	for k, n := range counts {
+		sv, tv := int32(k>>32), int32(k&0xffffffff)
+		cur, seen := bestN[sv]
+		if !seen || n > cur || (n == cur && dict.Value(tv) < dict.Value(bestT[sv])) {
+			bestN[sv] = n
+			bestT[sv] = tv
 		}
-		entries[sv] = best
+	}
+	entries := make(map[string]string, len(bestT))
+	for sv, tv := range bestT {
+		entries[dict.Value(sv)] = dict.Value(tv)
 	}
 	return metafunc.NewMapping(entries)
 }
@@ -88,21 +91,22 @@ type Overlap struct {
 // configurable block-size threshold; Section 4.2 uses 100000).
 func ComputeOverlap(inst *delta.Instance, maxPairs int) *Overlap {
 	nT := inst.Target.Len()
+	coded := inst.Coded()
 	scores := make(map[int64]int32)
 	for a := 0; a < inst.NumAttrs(); a++ {
-		srcByVal := make(map[string][]int32)
-		for s := 0; s < inst.Source.Len(); s++ {
-			v := inst.Source.Value(s, a)
-			srcByVal[v] = append(srcByVal[v], int32(s))
+		// Group both sides by interned code: raw snapshot codes are dense in
+		// [0, Base[a]), so plain slices replace the string-keyed maps.
+		srcByVal := make([][]int32, coded.Base[a])
+		for s, c := range coded.Src[a] {
+			srcByVal[c] = append(srcByVal[c], int32(s))
 		}
-		tgtByVal := make(map[string][]int32)
-		for t := 0; t < nT; t++ {
-			v := inst.Target.Value(t, a)
-			tgtByVal[v] = append(tgtByVal[v], int32(t))
+		tgtByVal := make([][]int32, coded.Base[a])
+		for t, c := range coded.Tgt[a] {
+			tgtByVal[c] = append(tgtByVal[c], int32(t))
 		}
 		for v, ss := range srcByVal {
-			ts, ok := tgtByVal[v]
-			if !ok {
+			ts := tgtByVal[v]
+			if len(ss) == 0 || len(ts) == 0 {
 				continue
 			}
 			if len(ss)*len(ts) > maxPairs {
@@ -165,10 +169,11 @@ func (ov *Overlap) StartAttrs(inst *delta.Instance) []int {
 	if kPrime == 0 {
 		return nil
 	}
+	coded := inst.Coded()
 	overlapCount := make([]int, inst.NumAttrs())
 	for _, p := range ov.BestPairs {
 		for a := 0; a < inst.NumAttrs(); a++ {
-			if inst.Source.Value(int(p.S), a) == inst.Target.Value(int(p.T), a) {
+			if coded.Src[a][p.S] == coded.Tgt[a][p.T] {
 				overlapCount[a]++
 			}
 		}

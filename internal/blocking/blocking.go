@@ -5,18 +5,27 @@
 // projection. Results refine incrementally — deciding one more attribute
 // splits each existing block — which is how the search extends states
 // without recomputing blocking from scratch.
+//
+// The implementation runs on the instance's interned columnar view: blocks
+// are keyed by dense value-code tuples, and each attribute function is
+// evaluated at most once per distinct value of its attribute for the whole
+// refinement tree (the apply memo is shared across all Results derived from
+// one New call, and is safe for concurrent Refines).
 package blocking
 
 import (
-	"fmt"
+	"sync"
 
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
 )
 
-// Block is one ϕ(κ): the source and target records sharing blocking index κ.
+// Block is one ϕ(κ): the source and target records sharing blocking index
+// κ. κ itself is implicit — refinement groups records by interned
+// value-code tuples, so a block is identified by (parent block, split
+// code) without materialising the key. Render κ for debugging by reading
+// any member record's decided-attribute values through the instance.
 type Block struct {
-	Key string  // κ, rendered as the concatenated decided-attribute values
 	Src []int32 // source record indices
 	Tgt []int32 // target record indices
 }
@@ -25,10 +34,76 @@ type Block struct {
 // blocks can contribute alignment examples.
 func (b *Block) Mixed() bool { return len(b.Src) > 0 && len(b.Tgt) > 0 }
 
+// applyMemo caches, for one (attribute, function) pair, the output code of
+// every raw input code of that attribute. It is immutable once built.
+type applyMemo []int32
+
+// applyCache shares applyMemos across every Result of one refinement tree:
+// refining different sibling or cousin states with the same (attr, func)
+// reuses the memo instead of re-applying the function value by value.
+type applyCache struct {
+	mu    sync.Mutex
+	memos map[applyKey]applyMemo
+}
+
+type applyKey struct {
+	attr int
+	fn   string
+}
+
+// memo returns the (attr, f) memo, building it on first use. Building
+// interns novel function outputs, so distinct outputs always get distinct
+// codes and outputs equal to target values collide with them — exactly the
+// grouping semantics of string comparison, at integer cost.
+//
+// Explicit value mappings are built transiently instead of cached: every
+// greedy-map probe constructs a fresh alignment-specific *Mapping that is
+// refined exactly once, so caching those memos (keyed by the mapping's full
+// entry list) would only grow the cache for a ~0% hit rate.
+func (c *applyCache) memo(co *delta.Coded, attr int, f metafunc.Func) applyMemo {
+	if _, oneShot := f.(*metafunc.Mapping); oneShot {
+		return buildMemo(co, attr, f)
+	}
+	key := applyKey{attr: attr, fn: f.Key()}
+	c.mu.Lock()
+	m, ok := c.memos[key]
+	c.mu.Unlock()
+	if ok {
+		return m
+	}
+	built := buildMemo(co, attr, f)
+	// Two goroutines may build concurrently; both results are identical
+	// mappings (interning is idempotent), so either may win.
+	c.mu.Lock()
+	if m, ok = c.memos[key]; !ok {
+		c.memos[key] = built
+		m = built
+	}
+	c.mu.Unlock()
+	return m
+}
+
+func buildMemo(co *delta.Coded, attr int, f metafunc.Func) applyMemo {
+	dict := co.Dicts[attr]
+	built := make(applyMemo, co.Base[attr])
+	if metafunc.IsIdentity(f) {
+		for i := range built {
+			built[i] = int32(i)
+		}
+	} else {
+		for i := range built {
+			built[i] = dict.Code(f.Apply(dict.Value(int32(i))))
+		}
+	}
+	return built
+}
+
 // Result is Φ_H plus the record→block maps needed for refinement and for
 // locating the block of a sampled record.
 type Result struct {
 	inst       *delta.Instance
+	coded      *delta.Coded
+	cache      *applyCache
 	blocks     []*Block
 	srcBlockOf []int32
 	tgtBlockOf []int32
@@ -37,7 +112,7 @@ type Result struct {
 // New returns the blocking result of the all-undecided state: a single
 // block holding every record.
 func New(inst *delta.Instance) *Result {
-	b := &Block{Key: ""}
+	b := &Block{}
 	b.Src = make([]int32, inst.Source.Len())
 	for i := range b.Src {
 		b.Src[i] = int32(i)
@@ -48,6 +123,8 @@ func New(inst *delta.Instance) *Result {
 	}
 	r := &Result{
 		inst:       inst,
+		coded:      inst.Coded(),
+		cache:      &applyCache{memos: make(map[applyKey]applyMemo)},
 		blocks:     []*Block{b},
 		srcBlockOf: make([]int32, inst.Source.Len()),
 		tgtBlockOf: make([]int32, inst.Target.Len()),
@@ -58,60 +135,88 @@ func New(inst *delta.Instance) *Result {
 // Refine returns the blocking result after additionally deciding attribute
 // attr with function f: each block splits by f(source value) on the source
 // side and the raw value on the target side. The receiver is unchanged.
+// Refine is safe to call concurrently on the same receiver; the resulting
+// blocks are ordered deterministically (parent-block order, then first
+// appearance in record order).
 func (r *Result) Refine(attr int, f metafunc.Func) *Result {
-	nr := &Result{
-		inst:       r.inst,
-		srcBlockOf: make([]int32, len(r.srcBlockOf)),
-		tgtBlockOf: make([]int32, len(r.tgtBlockOf)),
-	}
-	// Value-level memoisation: attributes typically have far fewer distinct
-	// values than records, and Func.Apply can be non-trivial (decimal math).
-	applied := make(map[string]string)
-	apply := func(v string) string {
-		if out, ok := applied[v]; ok {
-			return out
-		}
-		out := f.Apply(v)
-		applied[v] = out
-		return out
-	}
+	memo := r.cache.memo(r.coded, attr, f)
+	srcCodes := r.coded.Src[attr]
+	tgtCodes := r.coded.Tgt[attr]
+	nSrc, nTgt := len(r.srcBlockOf), len(r.tgtBlockOf)
+
+	// Pass 1: group every record by (parent block, split code), recording
+	// its sub-block index. Sub-blocks are numbered in parent order, then
+	// first appearance, so the block order is deterministic.
+	srcBlockOf := make([]int32, nSrc)
+	tgtBlockOf := make([]int32, nTgt)
+	var codes []int32 // split code per sub-block
+	var cntS, cntT []int32
+	sub := make(map[int32]int32) // split code → sub-block index, per parent
 	for _, b := range r.blocks {
-		sub := make(map[string]*Block)
-		get := func(v string) *Block {
-			nb, ok := sub[v]
+		clear(sub)
+		get := func(c int32) int32 {
+			idx, ok := sub[c]
 			if !ok {
-				nb = &Block{Key: b.Key + quote(v)}
-				sub[v] = nb
-				nr.blocks = append(nr.blocks, nb)
+				idx = int32(len(codes))
+				sub[c] = idx
+				codes = append(codes, c)
+				cntS = append(cntS, 0)
+				cntT = append(cntT, 0)
 			}
-			return nb
+			return idx
 		}
 		for _, s := range b.Src {
-			v := apply(r.inst.Source.Value(int(s), attr))
-			nb := get(v)
+			idx := get(memo[srcCodes[s]])
+			cntS[idx]++
+			srcBlockOf[s] = idx
+		}
+		for _, t := range b.Tgt {
+			idx := get(tgtCodes[t])
+			cntT[idx]++
+			tgtBlockOf[t] = idx
+		}
+	}
+
+	// Pass 2: carve exactly-sized record slices out of two shared backing
+	// arrays and fill them in the parent iteration order.
+	arena := make([]Block, len(codes))
+	blocks := make([]*Block, len(codes))
+	srcStore := make([]int32, 0, nSrc)
+	tgtStore := make([]int32, 0, nTgt)
+	for i := range arena {
+		off := len(srcStore)
+		srcStore = srcStore[:off+int(cntS[i])]
+		arena[i].Src = srcStore[off:off:len(srcStore)]
+		off = len(tgtStore)
+		tgtStore = tgtStore[:off+int(cntT[i])]
+		arena[i].Tgt = tgtStore[off:off:len(tgtStore)]
+		blocks[i] = &arena[i]
+	}
+	for _, b := range r.blocks {
+		for _, s := range b.Src {
+			nb := blocks[srcBlockOf[s]]
 			nb.Src = append(nb.Src, s)
 		}
 		for _, t := range b.Tgt {
-			v := r.inst.Target.Value(int(t), attr)
-			nb := get(v)
+			nb := blocks[tgtBlockOf[t]]
 			nb.Tgt = append(nb.Tgt, t)
 		}
 	}
-	for i, b := range nr.blocks {
-		for _, s := range b.Src {
-			nr.srcBlockOf[s] = int32(i)
-		}
-		for _, t := range b.Tgt {
-			nr.tgtBlockOf[t] = int32(i)
-		}
+	return &Result{
+		inst:       r.inst,
+		coded:      r.coded,
+		cache:      r.cache,
+		blocks:     blocks,
+		srcBlockOf: srcBlockOf,
+		tgtBlockOf: tgtBlockOf,
 	}
-	return nr
 }
-
-func quote(s string) string { return fmt.Sprintf("%d:%s|", len(s), s) }
 
 // Instance returns the problem instance the result was built over.
 func (r *Result) Instance() *delta.Instance { return r.inst }
+
+// Coded returns the instance's interned columnar view (shared, not copied).
+func (r *Result) Coded() *delta.Coded { return r.coded }
 
 // Blocks returns all blocks; callers must not mutate them.
 func (r *Result) Blocks() []*Block { return r.blocks }
@@ -165,17 +270,25 @@ func (r *Result) SourceSurplus() int {
 // the origin of a target value (Section 4.3 "Extending Search States").
 func (r *Result) Indeterminacy(attr int) int {
 	max := 0
-	distinct := make(map[string]struct{})
+	srcCodes := r.coded.Src[attr]
+	// Raw source codes are dense in [0, Base[attr]), so distinct counting
+	// is an epoch-marked array walk instead of hashing.
+	seen := make([]int32, r.coded.Base[attr])
+	epoch := int32(0)
 	for _, b := range r.blocks {
 		if !b.Mixed() {
 			continue
 		}
-		clear(distinct)
+		epoch++
+		n := 0
 		for _, s := range b.Src {
-			distinct[r.inst.Source.Value(int(s), attr)] = struct{}{}
+			if c := srcCodes[s]; seen[c] != epoch {
+				seen[c] = epoch
+				n++
+			}
 		}
-		if len(distinct) > max {
-			max = len(distinct)
+		if n > max {
+			max = n
 		}
 	}
 	return max

@@ -6,6 +6,7 @@ package delta
 
 import (
 	"fmt"
+	"sync"
 
 	"affidavit/internal/metafunc"
 	"affidavit/internal/table"
@@ -18,6 +19,9 @@ type Instance struct {
 	Source *table.Table
 	Target *table.Table
 	Metas  []metafunc.Meta
+
+	codedOnce sync.Once
+	coded     *Coded
 }
 
 // NewInstance validates the snapshots share a schema and returns an
@@ -41,6 +45,45 @@ func (in *Instance) NumAttrs() int { return in.Source.Schema().Len() }
 
 // Delta returns ∆ = |S| − |T| (Corollary 4.5).
 func (in *Instance) Delta() int { return in.Source.Len() - in.Target.Len() }
+
+// Coded is the interned columnar view of an instance: per attribute, one
+// dictionary shared by both snapshots plus both value columns as dense
+// int32 codes. Equal codes mean equal strings across snapshots, which turns
+// the blocking and alignment hot paths into integer operations.
+type Coded struct {
+	// Dicts holds the per-attribute dictionaries. They keep growing as
+	// attribute-function outputs are interned during the search.
+	Dicts []*table.Dict
+	// Src[a][i] is the code of source record i's value of attribute a;
+	// Tgt likewise for the target snapshot.
+	Src, Tgt [][]int32
+	// Base[a] is Dicts[a].Len() right after both raw columns were interned.
+	// Raw snapshot values always have codes < Base[a]; codes ≥ Base[a] are
+	// function outputs interned later.
+	Base []int32
+}
+
+// Coded returns the interned columnar view, building it on first use. The
+// view is shared: callers must not mutate the snapshots afterwards.
+func (in *Instance) Coded() *Coded {
+	in.codedOnce.Do(func() {
+		d := in.NumAttrs()
+		co := &Coded{
+			Dicts: make([]*table.Dict, d),
+			Src:   make([][]int32, d),
+			Tgt:   make([][]int32, d),
+			Base:  make([]int32, d),
+		}
+		for a := 0; a < d; a++ {
+			co.Dicts[a] = table.NewDict()
+			co.Src[a] = in.Source.CodeColumn(a, co.Dicts[a])
+			co.Tgt[a] = in.Target.CodeColumn(a, co.Dicts[a])
+			co.Base[a] = int32(co.Dicts[a].Len())
+		}
+		in.coded = co
+	})
+	return in.coded
+}
 
 // FuncTuple is F^E: one attribute function per attribute, in schema order.
 type FuncTuple []metafunc.Func
@@ -101,22 +144,67 @@ type Explanation struct {
 // the procedure of Proposition 3.6: a source record joins the core when its
 // image under the tuple equals a not-yet-claimed target record; ties are
 // broken in source order, making construction deterministic.
+//
+// Matching runs on the interned columnar view: records are compared as
+// packed code tuples, and each function is applied at most once per distinct
+// source value of its attribute.
 func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
 	if len(funcs) != inst.NumAttrs() {
 		return nil, fmt.Errorf("delta: tuple has %d functions, schema has %d attributes",
 			len(funcs), inst.NumAttrs())
 	}
+	co := inst.Coded()
+	d := inst.NumAttrs()
+	// Per-attribute memo over the raw code space: memos[a][c] is the code of
+	// funcs[a] applied to value c, or -1 when the output is no snapshot value
+	// (such an image can never match a target record). Identity attributes
+	// skip the memo entirely.
+	memos := make([][]int32, d)
+	for a := 0; a < d; a++ {
+		if metafunc.IsIdentity(funcs[a]) {
+			continue
+		}
+		dict := co.Dicts[a]
+		m := make([]int32, co.Base[a])
+		for c := range m {
+			if out, ok := dict.Lookup(funcs[a].Apply(dict.Value(int32(c)))); ok {
+				m[c] = out
+			} else {
+				m[c] = -1
+			}
+		}
+		memos[a] = m
+	}
+	pack := func(buf []byte, codes func(a int) int32) (string, bool) {
+		for a := 0; a < d; a++ {
+			c := codes(a)
+			if c < 0 {
+				return "", false
+			}
+			buf[4*a] = byte(c)
+			buf[4*a+1] = byte(c >> 8)
+			buf[4*a+2] = byte(c >> 16)
+			buf[4*a+3] = byte(c >> 24)
+		}
+		return string(buf), true
+	}
+	buf := make([]byte, 4*d)
 	// Multiset index of unclaimed target records.
 	free := make(map[string][]int, inst.Target.Len())
 	for t := 0; t < inst.Target.Len(); t++ {
-		k := inst.Target.Record(t).Key()
+		k, _ := pack(buf, func(a int) int32 { return co.Tgt[a][t] })
 		free[k] = append(free[k], t)
 	}
 	e := &Explanation{Inst: inst, Funcs: funcs.Clone()}
 	for s := 0; s < inst.Source.Len(); s++ {
-		img := funcs.Apply(inst.Source.Record(s))
-		k := img.Key()
-		if q := free[k]; len(q) > 0 {
+		k, ok := pack(buf, func(a int) int32 {
+			c := co.Src[a][s]
+			if memos[a] == nil {
+				return c
+			}
+			return memos[a][c]
+		})
+		if q := free[k]; ok && len(q) > 0 {
 			e.CoreSrc = append(e.CoreSrc, s)
 			e.CoreTgt = append(e.CoreTgt, q[0])
 			free[k] = q[1:]

@@ -33,6 +33,11 @@ type Config struct {
 	// MaxSourceValuesPerBlock caps the distinct source values considered
 	// per sampled target when its block is still very coarse. Default 1000.
 	MaxSourceValuesPerBlock int
+	// Runner, when non-nil, runs n independent tasks (which may execute
+	// concurrently) and returns once all are done. It parallelises the
+	// induction and ranking stages; nil runs them inline. Tasks must be
+	// treated as order-independent.
+	Runner func(n int, task func(i int))
 }
 
 // Defaults is the paper's evaluation configuration.
@@ -62,7 +67,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxSourceValuesPerBlock > 0 {
 		d.MaxSourceValuesPerBlock = c.MaxSourceValuesPerBlock
 	}
+	d.Runner = c.Runner
 	return d
+}
+
+// runner returns the configured Runner or an inline fallback.
+func (c Config) runner() func(int, func(int)) {
+	if c.Runner != nil {
+		return c.Runner
+	}
+	return func(n int, task func(int)) {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+	}
 }
 
 // SampleSize returns the smallest k such that a Binomial(k, theta) variable
@@ -124,7 +142,10 @@ type Candidate struct {
 // returns all ranked survivors.
 func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config, top int, rng *rand.Rand) []Candidate {
 	cfg = cfg.withDefaults()
-	inst := r.Instance()
+	run := cfg.runner()
+	coded := r.Coded()
+	dict := coded.Dicts[attr]
+	srcCodes, tgtCodes := coded.Src[attr], coded.Tgt[attr]
 	mixed := r.MixedBlocks()
 	if len(mixed) == 0 {
 		return nil
@@ -148,45 +169,62 @@ func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config,
 		targets = targets[:k]
 		sampled = k
 	}
-	// Distinct source values per block, computed lazily and cached.
-	srcVals := make(map[*blocking.Block][]string)
-	distinctSrcVals := func(b *blocking.Block) []string {
-		if vs, ok := srcVals[b]; ok {
-			return vs
+	// Distinct source value codes per sampled block. Computed serially in
+	// first-appearance order so the capping shuffles draw from rng in a
+	// deterministic sequence; induction below is then rng-free and may run
+	// in parallel.
+	srcVals := make(map[*blocking.Block][]int32)
+	for _, tr := range targets {
+		if _, ok := srcVals[tr.block]; ok {
+			continue
 		}
-		seen := make(map[string]bool)
-		var vs []string
-		for _, s := range b.Src {
-			v := inst.Source.Value(int(s), attr)
-			if !seen[v] {
-				seen[v] = true
-				vs = append(vs, v)
+		seen := make(map[int32]bool)
+		var vs []int32
+		for _, s := range tr.block.Src {
+			c := srcCodes[s]
+			if !seen[c] {
+				seen[c] = true
+				vs = append(vs, c)
 			}
 		}
 		if len(vs) > cfg.MaxSourceValuesPerBlock {
 			rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
 			vs = vs[:cfg.MaxSourceValuesPerBlock]
 		}
-		srcVals[b] = vs
-		return vs
+		srcVals[tr.block] = vs
 	}
-	genCount := make(map[string]int)
-	exemplar := make(map[string]metafunc.Func)
-	perTarget := make(map[string]bool)
-	for _, tr := range targets {
-		out := inst.Target.Value(int(tr.rec), attr)
-		clear(perTarget)
-		for _, in := range distinctSrcVals(tr.block) {
+	// Per-target induction, parallelisable; results are merged in target
+	// order so the outcome is independent of task scheduling.
+	type induced struct {
+		key string
+		f   metafunc.Func
+	}
+	perTargetFuncs := make([][]induced, len(targets))
+	run(len(targets), func(i int) {
+		tr := targets[i]
+		out := dict.Value(tgtCodes[tr.rec])
+		perTarget := make(map[string]bool)
+		var list []induced
+		for _, c := range srcVals[tr.block] {
+			in := dict.Value(c)
 			for _, f := range metafunc.InduceAll(metas, in, out) {
 				key := f.Key()
 				if !perTarget[key] {
 					perTarget[key] = true
-					if _, ok := exemplar[key]; !ok {
-						exemplar[key] = f
-					}
-					genCount[key]++
+					list = append(list, induced{key: key, f: f})
 				}
 			}
+		}
+		perTargetFuncs[i] = list
+	})
+	genCount := make(map[string]int)
+	exemplar := make(map[string]metafunc.Func)
+	for _, list := range perTargetFuncs {
+		for _, in := range list {
+			if _, ok := exemplar[in.key]; !ok {
+				exemplar[in.key] = in.f
+			}
+			genCount[in.key]++
 		}
 	}
 
@@ -242,8 +280,14 @@ func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config,
 // the blocks of a Cochran-sized sample of source records (Section 4.4.3):
 // within each sampled block, a candidate's value histogram over the block's
 // source values is intersected with the block's target value histogram.
+//
+// Histograms are kept per interned value code. A candidate output that was
+// never interned cannot equal any target value, so it is skipped via a
+// read-only dictionary probe — ranking never grows the dictionaries.
 func rankByOverlap(r *blocking.Result, attr int, cands []Candidate, cfg Config, rng *rand.Rand) {
-	inst := r.Instance()
+	coded := r.Coded()
+	dict := coded.Dicts[attr]
+	srcCodes, tgtCodes := coded.Src[attr], coded.Tgt[attr]
 	mixed := r.MixedBlocks()
 	var sources []*blocking.Block // one entry per source record, its block
 	for _, b := range mixed {
@@ -256,39 +300,61 @@ func rankByOverlap(r *blocking.Result, attr int, cands []Candidate, cfg Config, 
 		rng.Shuffle(len(sources), func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
 		sources = sources[:kPrime]
 	}
-	blocks := make(map[*blocking.Block]bool)
+	var blocks []*blocking.Block // sampled blocks, first-appearance order
+	seen := make(map[*blocking.Block]bool)
 	for _, b := range sources {
-		blocks[b] = true
+		if !seen[b] {
+			seen[b] = true
+			blocks = append(blocks, b)
+		}
 	}
-	srcHist := make(map[string]int)
-	tgtHist := make(map[string]int)
-	outHist := make(map[string]int)
-	for b := range blocks {
-		clear(srcHist)
+	// Shared per-block histograms, computed once for all candidates.
+	srcHists := make([]map[int32]int, len(blocks))
+	tgtHists := make([]map[int32]int, len(blocks))
+	for i, b := range blocks {
+		sh := make(map[int32]int, len(b.Src))
 		for _, s := range b.Src {
-			srcHist[inst.Source.Value(int(s), attr)]++
+			sh[srcCodes[s]]++
 		}
-		clear(tgtHist)
+		th := make(map[int32]int, len(b.Tgt))
 		for _, t := range b.Tgt {
-			tgtHist[inst.Target.Value(int(t), attr)]++
+			th[tgtCodes[t]]++
 		}
-		for i := range cands {
+		srcHists[i], tgtHists[i] = sh, th
+	}
+	// Candidates are scored independently (overlap sums are commutative over
+	// blocks), so the ranking stage parallelises per candidate.
+	cfg.runner()(len(cands), func(i int) {
+		f := cands[i].Func
+		applied := make(map[int32]int32) // input code → output code, -1 = not a snapshot value
+		outHist := make(map[int32]int)
+		overlap := 0
+		for bi := range blocks {
 			clear(outHist)
-			for v, n := range srcHist {
-				outHist[cands[i].Func.Apply(v)] += n
+			for c, n := range srcHists[bi] {
+				out, ok := applied[c]
+				if !ok {
+					out = -1
+					if o, found := dict.Lookup(f.Apply(dict.Value(c))); found {
+						out = o
+					}
+					applied[c] = out
+				}
+				if out >= 0 {
+					outHist[out] += n
+				}
 			}
 			for v, n := range outHist {
-				if m := tgtHist[v]; m > 0 {
+				if m := tgtHists[bi][v]; m > 0 {
 					if m < n {
-						cands[i].Overlap += m
+						overlap += m
 					} else {
-						cands[i].Overlap += n
+						overlap += n
 					}
 				}
 			}
 		}
-	}
-	for i := range cands {
-		cands[i].Score = cands[i].Overlap - cands[i].Func.Params()
-	}
+		cands[i].Overlap = overlap
+		cands[i].Score = overlap - f.Params()
+	})
 }

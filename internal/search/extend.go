@@ -2,6 +2,7 @@ package search
 
 import (
 	"math/rand"
+	"sync"
 
 	"affidavit/internal/align"
 	"affidavit/internal/delta"
@@ -20,6 +21,12 @@ import (
 //  5. if every undecided attribute prefers a map, finalise H by assigning
 //     greedy value mappings one attribute at a time, re-sampling the
 //     alignment after each so later maps respect earlier ones.
+//
+// Probes within one wave are independent: each draws from its own rng
+// (derived deterministically from the seed, the poll index and the
+// attribute) and is evaluated on the worker pool, then merged in attribute
+// order. The sequential and parallel engines therefore walk identical
+// search trees for equal seeds.
 func (e *engine) extensions(h *State) []*State {
 	ordered := h.undecided()
 	if len(ordered) == 0 {
@@ -35,8 +42,16 @@ func (e *engine) extensions(h *State) []*State {
 	next := batch
 	queue := append([]int(nil), ordered[:batch]...)
 	for len(ext) == 0 && len(queue) > 0 {
-		for _, a := range queue {
-			ext = append(ext, e.extendAttr(h, a, r)...)
+		probes := make([]probeResult, len(queue))
+		e.runAll(len(queue), func(i int) {
+			probes[i] = e.probe(h, queue[i], r)
+		})
+		for _, pr := range probes {
+			e.stats.StatesGenerated += pr.generated
+			if e.opts.Tracer != nil {
+				e.opts.Tracer.Probe(h, pr.attr, pr.hg, pr.kept)
+			}
+			ext = append(ext, pr.kept...)
 		}
 		queue = queue[:0]
 		if len(ext) == 0 && next < len(ordered) {
@@ -51,29 +66,70 @@ func (e *engine) extensions(h *State) []*State {
 	return ext
 }
 
-// extendAttr compares the β best induced candidates for one attribute
-// against the greedy-map probe and returns the extensions that beat it.
-func (e *engine) extendAttr(h *State, attr int, r []align.Pair) []*State {
+// probeResult is one attribute probe's outcome, merged deterministically by
+// the caller.
+type probeResult struct {
+	attr      int
+	hg        *State   // the greedy-map probe Hд
+	kept      []*State // induced extensions cheaper than Hд
+	generated int      // candidate states costed
+}
+
+// probe compares the β best induced candidates for one attribute against
+// the greedy-map probe. It is safe to run concurrently with other probes of
+// the same parent state.
+func (e *engine) probe(h *State, attr int, r []align.Pair) probeResult {
 	g := align.GreedyMap(h.inst, r, attr)
 	hg := h.extend(attr, g, e.cm)
-	cands := induce.Candidates(h.blocks, attr, h.inst.Metas, e.opts.Induce, e.opts.Beta, e.rng)
-	var kept []*State
-	for _, c := range cands {
-		hf := h.extend(attr, c.Func, e.cm)
+	icfg := e.opts.Induce
+	icfg.Runner = e.runAll
+	cands := induce.Candidates(h.blocks, attr, h.inst.Metas, icfg, e.opts.Beta, e.probeRng(attr))
+	pr := probeResult{attr: attr, hg: hg, generated: len(cands)}
+	// The candidate refinements are independent of each other; evaluate
+	// them on the pool too, then keep survivors in rank order.
+	children := make([]*State, len(cands))
+	e.runAll(len(cands), func(i int) {
+		children[i] = h.extend(attr, cands[i].Func, e.cm)
+	})
+	for _, hf := range children {
 		if hf.cost < hg.cost {
-			kept = append(kept, hf)
+			pr.kept = append(pr.kept, hf)
 		}
-		e.stats.StatesGenerated++
 	}
-	if e.opts.Tracer != nil {
-		e.opts.Tracer.Probe(h, attr, hg, kept)
-	}
-	return kept
+	return pr
 }
+
+// probeRng derives the deterministic rng for one probe of the current
+// expansion. Keyed by (Seed, poll index, attribute), so probes are
+// independent of evaluation order — the root of seq/parallel equivalence.
+// The source is a splitmix64 stream: seeding is a single addition, unlike
+// the ~2.5 KB state initialisation of the default math/rand source.
+func (e *engine) probeRng(attr int) *rand.Rand {
+	z := uint64(e.opts.Seed) ^ 0x9e3779b97f4a7c15*uint64(e.stats.Polls+1) ^
+		0xbf58476d1ce4e5b9*uint64(attr+1)
+	return rand.New(&splitmix{state: z})
+}
+
+// splitmix is the splitmix64 generator as a rand.Source64.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
 
 // finalize resolves all remaining ⊡ attributes of h with greedy value
 // mappings, most determined attribute first, re-sampling the random
-// alignment after each assignment (Section 4.3).
+// alignment after each assignment (Section 4.3). It always runs on the
+// polling goroutine and draws from the engine's main rng.
 func (e *engine) finalize(h *State) *State {
 	cur := h
 	for !cur.IsEnd() {
@@ -90,10 +146,44 @@ func (e *engine) finalize(h *State) *State {
 }
 
 // engine bundles the per-run mutable pieces so the package-level API stays
-// stateless.
+// stateless. rng and stats are only ever touched from the polling
+// goroutine; probes use derived rngs and report their work via
+// probeResult.
 type engine struct {
 	opts  Options
 	cm    delta.CostModel
 	rng   *rand.Rand
 	stats *Stats
+	sem   chan struct{} // worker-pool slots; nil = sequential engine
+}
+
+// runAll runs n independent tasks, evaluating up to Workers of them
+// concurrently. The calling goroutine participates: when every pool slot is
+// busy the task runs inline, which also makes nested runAll calls (probe →
+// candidate refinements → induction) deadlock-free. Tasks must write their
+// results by index; runAll returns when all tasks finished.
+func (e *engine) runAll(n int, task func(int)) {
+	if e.sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-e.sem
+					wg.Done()
+				}()
+				task(i)
+			}(i)
+		default:
+			task(i)
+		}
+	}
+	wg.Wait()
 }

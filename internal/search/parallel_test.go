@@ -1,0 +1,144 @@
+package search_test
+
+import (
+	"fmt"
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/fixture"
+	"affidavit/internal/gen"
+	"affidavit/internal/search"
+)
+
+// testRows caps dataset sizes so the equivalence sweep stays fast enough
+// for the race detector: narrow datasets keep a few hundred rows, the very
+// wide ones (plista, flight-1k, uniprot) fewer.
+func testRows(spec datasets.Spec) int {
+	rows := spec.Rows
+	if rows > 400 {
+		rows = 400
+	}
+	if spec.DataAttrs > 40 && rows > 120 {
+		rows = 120
+	}
+	return rows
+}
+
+// TestParallelSequentialEquivalence runs the worker-pool engine against the
+// sequential engine on every registry dataset and asserts byte-identical
+// results for equal seeds: same explanation (function tuple, core size,
+// deletions, insertions), same cost, same search-effort stats. Run under
+// `go test -race` this also exercises the concurrent refinement paths.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	for _, spec := range datasets.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tab, err := spec.BuildRows(testRows(spec), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := search.DefaultOptions()
+			seq.Seed = 7
+			seq.Workers = 1
+			par := seq
+			par.Workers = 8
+			a, err := search.Run(p.Inst, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := search.Run(p.Inst, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, a, b)
+		})
+	}
+}
+
+// TestParallelEquivalenceAcrossConfigs covers the remaining start
+// strategies and a wider queue on the running example.
+func TestParallelEquivalenceAcrossConfigs(t *testing.T) {
+	inst := fixture.Instance()
+	for _, cfg := range []struct {
+		name string
+		opts search.Options
+	}{
+		{"Hid", search.DefaultOptions()},
+		{"Hs", search.OverlapOptions()},
+		{"Hempty", func() search.Options {
+			o := search.DefaultOptions()
+			o.Start = search.StartEmpty
+			return o
+		}()},
+		{"wide", func() search.Options {
+			o := search.DefaultOptions()
+			o.Beta = 3
+			o.QueueWidth = 8
+			return o
+		}()},
+	} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", cfg.name, seed), func(t *testing.T) {
+				seq := cfg.opts
+				seq.Seed = seed
+				seq.Workers = 0 // zero and one both mean sequential
+				par := cfg.opts
+				par.Seed = seed
+				par.Workers = 4
+				a, err := search.Run(inst, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := search.Run(inst, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, a, b)
+			})
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, a, b *search.Result) {
+	t.Helper()
+	if a.Cost != b.Cost {
+		t.Errorf("cost: sequential %v, parallel %v", a.Cost, b.Cost)
+	}
+	if ak, bk := a.Explanation.Funcs.Key(), b.Explanation.Funcs.Key(); ak != bk {
+		t.Errorf("function tuples differ:\n  seq: %s\n  par: %s", ak, bk)
+	}
+	if !equalInts(a.Explanation.Deleted, b.Explanation.Deleted) {
+		t.Errorf("deletions differ: %v vs %v", a.Explanation.Deleted, b.Explanation.Deleted)
+	}
+	if !equalInts(a.Explanation.Inserted, b.Explanation.Inserted) {
+		t.Errorf("insertions differ: %v vs %v", a.Explanation.Inserted, b.Explanation.Inserted)
+	}
+	if !equalInts(a.Explanation.CoreSrc, b.Explanation.CoreSrc) ||
+		!equalInts(a.Explanation.CoreTgt, b.Explanation.CoreTgt) {
+		t.Error("core alignments differ")
+	}
+	// Stats must agree on everything but wall time: the engines walk the
+	// same search tree.
+	as, bs := a.Stats, b.Stats
+	as.Duration, bs.Duration = 0, 0
+	if as != bs {
+		t.Errorf("stats differ: sequential %+v, parallel %+v", as, bs)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,19 +33,21 @@ func (q *boundedQueue) capacity(level int) int {
 	return c
 }
 
-// Add offers a state to the queue. It returns true if the state was
-// admitted (and possibly evicted another), false if it was rejected as a
-// duplicate or as worse than a full level.
-func (q *boundedQueue) Add(s *State) bool {
+// Add offers a state to the queue. admitted reports whether the state
+// entered the queue; evicted reports whether admission displaced a queued
+// state from a full level (so net queue occupancy only grew when admitted
+// && !evicted). Rejections — duplicates, or states worse than every state
+// of a full level — return false, false.
+func (q *boundedQueue) Add(s *State) (admitted, evicted bool) {
 	if q.visited[s.key] {
-		return false
+		return false, false
 	}
 	q.visited[s.key] = true
 	lv := q.levels[s.level]
 	if len(lv) < q.capacity(s.level) {
 		q.levels[s.level] = append(lv, s)
 		q.size++
-		return true
+		return true, false
 	}
 	worst := 0
 	for i := 1; i < len(lv); i++ {
@@ -54,10 +56,10 @@ func (q *boundedQueue) Add(s *State) bool {
 		}
 	}
 	if s.cost > lv[worst].cost {
-		return false
+		return false, false
 	}
 	lv[worst] = s
-	return true
+	return true, true
 }
 
 // Poll removes and returns the cheapest state; nil when empty. Ties go to

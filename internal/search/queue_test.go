@@ -33,14 +33,14 @@ func TestQueueEviction(t *testing.T) {
 	a := stateAt(t, 1, 10, "a")
 	b := stateAt(t, 1, 5, "b")
 	c := stateAt(t, 1, 7, "c")
-	if !q.Add(a) {
-		t.Fatal("first add rejected")
+	if admitted, evicted := q.Add(a); !admitted || evicted {
+		t.Fatal("first add must be a fresh admission")
 	}
-	if !q.Add(b) {
-		t.Fatal("cheaper state rejected by full level")
+	if admitted, evicted := q.Add(b); !admitted || !evicted {
+		t.Fatal("cheaper state must be admitted by evicting the full level's worst")
 	}
 	// a was evicted; c (cost 7 > b's 5) must be rejected.
-	if q.Add(c) {
+	if admitted, evicted := q.Add(c); admitted || evicted {
 		t.Error("worse state accepted by full level")
 	}
 	if got := q.Poll(); got != b {
@@ -51,14 +51,41 @@ func TestQueueEviction(t *testing.T) {
 	}
 }
 
+// TestQueueEvictionVsFreshAdmission: evicting admissions must be
+// distinguishable from fresh ones, so occupancy accounting (Enqueued −
+// Evicted) matches Len.
+func TestQueueEvictionVsFreshAdmission(t *testing.T) {
+	q := newQueue(1)
+	enqueued, evicted := 0, 0
+	offer := func(s *State) {
+		adm, ev := q.Add(s)
+		if adm {
+			enqueued++
+		}
+		if ev {
+			evicted++
+		}
+	}
+	offer(stateAt(t, 1, 10, "a")) // fresh
+	offer(stateAt(t, 1, 5, "b"))  // evicts a
+	offer(stateAt(t, 1, 4, "c"))  // evicts b
+	offer(stateAt(t, 2, 9, "d"))  // fresh, level 2
+	if enqueued != 4 || evicted != 2 {
+		t.Errorf("enqueued/evicted = %d/%d, want 4/2", enqueued, evicted)
+	}
+	if got := enqueued - evicted; got != q.Len() {
+		t.Errorf("occupancy %d ≠ Len %d", got, q.Len())
+	}
+}
+
 func TestQueueDuplicateElimination(t *testing.T) {
 	q := newQueue(3)
 	a := stateAt(t, 1, 10, "same")
 	b := stateAt(t, 1, 1, "same")
-	if !q.Add(a) {
+	if admitted, _ := q.Add(a); !admitted {
 		t.Fatal("first add rejected")
 	}
-	if q.Add(b) {
+	if admitted, _ := q.Add(b); admitted {
 		t.Error("duplicate key accepted")
 	}
 	if !q.Seen("same") || q.Seen("other") {

@@ -38,28 +38,45 @@ func (s StartStrategy) String() string {
 	return fmt.Sprintf("StartStrategy(%d)", int(s))
 }
 
-// Options configures one Affidavit run. The zero value is *not* usable;
-// call DefaultOptions or fill every field.
+// Options configures one Affidavit run. The zero value is *not* usable as a
+// whole — call DefaultOptions or fill every field. Run validates and
+// rejects out-of-range values instead of silently clamping them; the
+// zero-value meaning of each field is documented per field.
 type Options struct {
-	// Alpha is the cost parameter α of Definition 3.10. Default 0.5.
+	// Alpha is the cost parameter α of Definition 3.10. Must be in [0, 1];
+	// zero is valid and weighs only function complexity. Default 0.5.
 	Alpha float64
 	// Beta is the branching factor β: attributes polled per expansion and
-	// candidates kept per attribute. Default 2.
+	// candidates kept per attribute. Must be ≥ 1; zero is invalid.
+	// Default 2.
 	Beta int
-	// QueueWidth is ϱ, the level-bounded queue width. Default 5.
+	// QueueWidth is ϱ, the level-bounded queue width. Must be ≥ 1; zero is
+	// invalid (a width-0 queue could never hold a state). Default 5.
 	QueueWidth int
-	// Start selects H₀. Default StartID.
+	// Start selects H₀. The zero value is StartOverlap; DefaultOptions
+	// uses StartID.
 	Start StartStrategy
 	// MaxBlockSize is the overlap-matching threshold used by StartOverlap
 	// (pairs per shared value). Default 100000.
 	MaxBlockSize int
 	// Induce carries θ, ρ and the induction caps.
 	Induce induce.Config
-	// Seed drives all sampling; equal seeds give equal searches.
+	// Seed drives all sampling; equal seeds give equal searches. Zero is a
+	// valid seed.
 	Seed int64
-	// MaxExpansions caps polled states as a safety valve; 0 = unlimited.
+	// MaxExpansions caps polled states as a safety valve. Must be ≥ 0;
+	// 0 means unlimited.
 	MaxExpansions int
+	// Workers bounds how many extension probes and blocking refinements the
+	// engine evaluates concurrently. Must be ≥ 0; 0 and 1 both mean the
+	// sequential engine. For any fixed Seed the parallel and sequential
+	// engines return identical Results (same explanation, cost and stats) —
+	// probes draw from per-probe deterministic rngs and are merged in
+	// deterministic order.
+	Workers int
 	// Tracer, when non-nil, observes the search (Figure 4 reproductions).
+	// Tracer callbacks always fire from the polling goroutine, in
+	// deterministic order, regardless of Workers.
 	Tracer Tracer
 }
 
@@ -91,6 +108,7 @@ type Stats struct {
 	Polls           int           // states extracted from the queue
 	StatesGenerated int           // candidate states costed
 	Enqueued        int           // states admitted to the queue
+	Evicted         int           // admissions that displaced a queued state
 	Duration        time.Duration // wall time
 	StartLevel      int           // assignments in the chosen start state(s)
 }
@@ -115,6 +133,15 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 	if opts.Alpha < 0 || opts.Alpha > 1 {
 		return nil, fmt.Errorf("search: Alpha must be in [0,1], got %v", opts.Alpha)
 	}
+	if opts.QueueWidth < 1 {
+		return nil, fmt.Errorf("search: QueueWidth must be ≥ 1, got %d", opts.QueueWidth)
+	}
+	if opts.MaxExpansions < 0 {
+		return nil, fmt.Errorf("search: MaxExpansions must be ≥ 0, got %d", opts.MaxExpansions)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("search: Workers must be ≥ 0, got %d", opts.Workers)
+	}
 	start := time.Now()
 	e := &engine{
 		opts:  opts,
@@ -122,11 +149,14 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		stats: &Stats{},
 	}
+	if opts.Workers > 1 {
+		// The polling goroutine participates in probe evaluation, so the
+		// semaphore holds Workers−1 extra slots.
+		e.sem = make(chan struct{}, opts.Workers-1)
+	}
 	q := newQueue(opts.QueueWidth)
 	for _, s := range e.startStates(inst) {
-		if q.Add(s) {
-			e.stats.Enqueued++
-		}
+		e.offer(q, s)
 		if s.level > e.stats.StartLevel {
 			e.stats.StartLevel = s.level
 		}
@@ -147,9 +177,7 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 			break
 		}
 		for _, child := range e.extensions(h) {
-			if q.Add(child) {
-				e.stats.Enqueued++
-			}
+			e.offer(q, child)
 		}
 	}
 	e.stats.Duration = time.Since(start)
@@ -176,6 +204,17 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 	}, nil
 }
 
+// offer adds a state to the queue, keeping the admission statistics.
+func (e *engine) offer(q *boundedQueue, s *State) {
+	admitted, evicted := q.Add(s)
+	if admitted {
+		e.stats.Enqueued++
+	}
+	if evicted {
+		e.stats.Evicted++
+	}
+}
+
 // startStates builds H₀ for the configured strategy (Section 4.2).
 func (e *engine) startStates(inst *delta.Instance) []*State {
 	root := newRoot(inst, e.cm)
@@ -183,10 +222,12 @@ func (e *engine) startStates(inst *delta.Instance) []*State {
 	case StartEmpty:
 		return []*State{root}
 	case StartID:
-		states := make([]*State, 0, inst.NumAttrs())
-		for a := 0; a < inst.NumAttrs(); a++ {
-			states = append(states, root.extend(a, metafunc.Identity{}, e.cm))
-		}
+		// The d identity refinements are independent; evaluate them on the
+		// worker pool and keep attribute order for determinism.
+		states := make([]*State, inst.NumAttrs())
+		e.runAll(len(states), func(a int) {
+			states[a] = root.extend(a, metafunc.Identity{}, e.cm)
+		})
 		return states
 	case StartOverlap:
 		ov := align.ComputeOverlap(inst, e.opts.MaxBlockSize)

@@ -224,6 +224,26 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := search.Run(inst, bad); err == nil {
 		t.Error("Alpha=1.5 accepted")
 	}
+	bad = search.DefaultOptions()
+	bad.QueueWidth = 0
+	if _, err := search.Run(inst, bad); err == nil {
+		t.Error("QueueWidth=0 accepted")
+	}
+	bad = search.DefaultOptions()
+	bad.QueueWidth = -3
+	if _, err := search.Run(inst, bad); err == nil {
+		t.Error("QueueWidth=-3 accepted")
+	}
+	bad = search.DefaultOptions()
+	bad.MaxExpansions = -1
+	if _, err := search.Run(inst, bad); err == nil {
+		t.Error("MaxExpansions=-1 accepted")
+	}
+	bad = search.DefaultOptions()
+	bad.Workers = -2
+	if _, err := search.Run(inst, bad); err == nil {
+		t.Error("Workers=-2 accepted")
+	}
 }
 
 // TestMaxExpansionsFallback: an absurd cap still yields a valid (possibly

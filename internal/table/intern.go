@@ -1,0 +1,82 @@
+package table
+
+import "sync"
+
+// Dict is an append-only dictionary mapping distinct string values to dense
+// int32 codes. It is the value-interning backbone of the columnar backend:
+// equal strings get equal codes, so the blocking and search hot paths can
+// compare, group and hash attribute values as machine integers instead of
+// strings.
+//
+// Dicts are safe for concurrent use. Codes are assigned in interning order
+// and never change; numeric code order is therefore NOT a deterministic
+// property across runs (concurrent interners may race for the next code) and
+// must never be used for tie-breaking — compare the underlying strings via
+// Value instead.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[string]int32
+	vals  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int32)}
+}
+
+// Len returns the number of distinct interned values.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.vals)
+	d.mu.RUnlock()
+	return n
+}
+
+// Code interns v and returns its code, assigning the next dense code if v is
+// new.
+func (d *Dict) Code(v string) int32 {
+	d.mu.RLock()
+	c, ok := d.codes[v]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	c, ok = d.codes[v]
+	if !ok {
+		c = int32(len(d.vals))
+		d.codes[v] = c
+		d.vals = append(d.vals, v)
+	}
+	d.mu.Unlock()
+	return c
+}
+
+// Lookup returns v's code without interning; ok is false when v was never
+// interned.
+func (d *Dict) Lookup(v string) (int32, bool) {
+	d.mu.RLock()
+	c, ok := d.codes[v]
+	d.mu.RUnlock()
+	return c, ok
+}
+
+// Value returns the string behind code c.
+func (d *Dict) Value(c int32) string {
+	d.mu.RLock()
+	v := d.vals[c]
+	d.mu.RUnlock()
+	return v
+}
+
+// CodeColumn interns attribute a's values into d and returns them as a code
+// column in record order. Passing the same Dict for the corresponding
+// attribute of two snapshots puts both columns in one shared code space, so
+// cross-snapshot equality is code equality.
+func (t *Table) CodeColumn(a int, d *Dict) []int32 {
+	col := make([]int32, len(t.records))
+	for i, r := range t.records {
+		col[i] = d.Code(r[a])
+	}
+	return col
+}
