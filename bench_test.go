@@ -11,6 +11,7 @@
 //	BenchmarkTable2/...            — dataset × configuration quality grid
 //	BenchmarkFigure5Rows/...       — row scalability on flight-500k (scaled)
 //	BenchmarkFigure6Attrs/...      — attribute scalability
+//	BenchmarkChain*                — snapshot-chain sessions: warm vs cold, pooled interning
 //	BenchmarkAblation*             — queue width ϱ, branching β, start states, θ
 //
 // Large datasets run at reduced row counts so the suite stays benchable;
@@ -25,11 +26,14 @@ import (
 
 	"affidavit/internal/blocking"
 	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
 	"affidavit/internal/fixture"
 	"affidavit/internal/gen"
 	"affidavit/internal/metafunc"
 	"affidavit/internal/satreduce"
 	"affidavit/internal/search"
+	"affidavit/internal/session"
+	"affidavit/internal/table"
 )
 
 func BenchmarkFigure1RunningExample(b *testing.B) {
@@ -237,6 +241,91 @@ func BenchmarkFigure6Attrs(b *testing.B) {
 			}
 		})
 	}
+}
+
+// chainProblem builds the k-step snapshot chain shared by the chain
+// benches.
+func chainProblem(b *testing.B, steps int) *gen.ChainProblem {
+	b.Helper()
+	ds, err := datasets.Get("ncvoter-1k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := ds.Build(41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := gen.MakeChain(tab, gen.ChainConfig{Steps: steps, Eta: 0.1, Tau: 0.5, Seed: 41})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ch
+}
+
+// BenchmarkChain measures the session subsystem on a 4-step snapshot
+// chain: "cold" explains every consecutive pair independently, "warm"
+// drives one session through the chain (shared dictionary pool plus
+// warm-started search). The warm/cold ratio is the chain-mode payoff.
+func BenchmarkChain(b *testing.B) {
+	const steps = 4
+	ch := chainProblem(b, steps)
+	opts := search.DefaultOptions()
+	opts.Seed = 41
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 1; s < len(ch.Snapshots); s++ {
+				inst, err := delta.NewInstance(ch.Snapshots[s-1], ch.Snapshots[s], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := search.Run(inst, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess := session.New(ch.Snapshots[0], opts, nil)
+			for s := 1; s < len(ch.Snapshots); s++ {
+				if _, err := sess.ExplainNext(ch.Snapshots[s]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkChainInterning isolates the dictionary-pool effect: interning
+// every consecutive pair of the chain into fresh per-pair dictionaries
+// versus one shared pool that keeps codes across pairs.
+func BenchmarkChainInterning(b *testing.B) {
+	const steps = 4
+	ch := chainProblem(b, steps)
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 1; s < len(ch.Snapshots); s++ {
+				inst, err := delta.NewInstance(ch.Snapshots[s-1], ch.Snapshots[s], nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inst.Coded()
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool := table.NewDictPool()
+			for s := 1; s < len(ch.Snapshots); s++ {
+				inst, err := delta.NewInstanceWithDicts(ch.Snapshots[s-1], ch.Snapshots[s], nil,
+					pool.DictsFor(ch.Snapshots[s-1].Schema()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				inst.Coded()
+			}
+		}
+	})
 }
 
 // ablationProblem is a mid-sized instance shared by the ablation benches.

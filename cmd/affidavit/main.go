@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"affidavit"
@@ -33,6 +34,7 @@ func main() {
 		conf     = flag.Float64("conf", 0.95, "sampling confidence ρ")
 		maxBlock = flag.Int("max-block", 100000, "overlap-matching block threshold (hs)")
 		seed     = flag.Int64("seed", 0, "random seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
 		sqlName  = flag.String("sql", "", "emit a migration script for this table name")
 		diff     = flag.Int("diff", 0, "show the first N aligned records as before/after")
 	)
@@ -67,6 +69,7 @@ func main() {
 	opts.Rho = *conf
 	opts.MaxBlockSize = *maxBlock
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	res, err := affidavit.ExplainCSV(*source, *target, opts)
 	if err != nil {

@@ -1,0 +1,88 @@
+// Command affidavitd serves explanation traffic over HTTP: clients POST
+// pairs of CSV snapshots and receive the learned explanation as JSON, a
+// migration script, or a text report. Uploads naming the same table share
+// one long-lived session — a common dictionary pool, plus warm-started
+// incremental search in chain mode — so recurring traffic over the same
+// domain gets cheaper as the service runs.
+//
+// Usage:
+//
+//	affidavitd -addr :8080 [search flags]
+//
+// Endpoints:
+//
+//	POST /explain   multipart upload: files "source" and "target" (CSV,
+//	                first row = header); optional values "table" (session
+//	                key, default "table"), "format" (json | sql | text),
+//	                "warm" ("1" = chain mode: warm-start from the table's
+//	                previous explanation and store the new one)
+//	GET  /stats     per-table session counters
+//	GET  /healthz   liveness probe
+//
+// Example:
+//
+//	curl -s -F source=@before.csv -F target=@after.csv \
+//	     'localhost:8080/explain?table=accounts' | jq .explanation.functions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"affidavit"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		start       = flag.String("start", "hid", "start strategy: hid | hs | empty")
+		alpha       = flag.Float64("alpha", 0.5, "cost parameter α in [0,1]")
+		beta        = flag.Int("beta", 0, "branching factor β (0 = config default)")
+		rho         = flag.Int("rho", 0, "queue width ϱ (0 = config default)")
+		theta       = flag.Float64("theta", 0.1, "estimated effect fraction θ")
+		conf        = flag.Float64("conf", 0.95, "sampling confidence ρ")
+		maxBlock    = flag.Int("max-block", 100000, "overlap-matching block threshold (hs)")
+		seed        = flag.Int64("seed", 0, "random seed (equal seeds give equal explanations)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes per request (1 = sequential engine)")
+		maxUpload   = flag.Int64("max-upload", 64, "largest accepted upload in MiB")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent /explain requests (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var opts affidavit.Options
+	switch strings.ToLower(*start) {
+	case "hid":
+		opts = affidavit.DefaultOptions()
+	case "hs":
+		opts = affidavit.OverlapOptions()
+	case "empty":
+		opts = affidavit.DefaultOptions()
+		opts.Start = affidavit.StartEmpty
+	default:
+		fmt.Fprintf(os.Stderr, "affidavitd: unknown start strategy %q\n", *start)
+		os.Exit(2)
+	}
+	opts.Alpha = *alpha
+	if *beta > 0 {
+		opts.Beta = *beta
+	}
+	if *rho > 0 {
+		opts.QueueWidth = *rho
+	}
+	opts.Theta = *theta
+	opts.Rho = *conf
+	opts.MaxBlockSize = *maxBlock
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	srv := newServer(opts, *maxUpload<<20, *maxInflight)
+	fmt.Fprintf(os.Stderr, "affidavitd: listening on %s (workers=%d)\n", *addr, *workers)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "affidavitd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"affidavit"
+	"affidavit/internal/delta"
+	"affidavit/internal/report"
+)
+
+// server routes explanation traffic onto per-table affidavit sessions: all
+// uploads naming the same table share one dictionary pool (and, in chain
+// mode, one warm-start tuple), so recurring traffic over the same domain
+// gets cheaper as the service runs.
+type server struct {
+	opts        affidavit.Options
+	alpha       float64
+	maxUpload   int64
+	maxInflight chan struct{} // nil = unlimited
+
+	mu       sync.Mutex
+	sessions map[string]*affidavit.Session
+}
+
+func newServer(opts affidavit.Options, maxUpload int64, maxInflight int) *server {
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = affidavit.DefaultOptions().Alpha
+	}
+	s := &server{
+		opts:      opts,
+		alpha:     alpha,
+		maxUpload: maxUpload,
+		sessions:  make(map[string]*affidavit.Session),
+	}
+	if maxInflight > 0 {
+		s.maxInflight = make(chan struct{}, maxInflight)
+	}
+	return s
+}
+
+// session returns the named table's session, creating it on first use.
+func (s *server) session(table string) *affidavit.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[table]
+	if !ok {
+		sess = affidavit.NewSession(nil, s.opts)
+		s.sessions[table] = sess
+	}
+	return sess
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// explainStats is the deterministic subset of search statistics: wall time
+// is deliberately omitted so identical inputs produce byte-identical
+// responses.
+type explainStats struct {
+	Polls           int `json:"polls"`
+	StatesGenerated int `json:"states_generated"`
+	Enqueued        int `json:"enqueued"`
+	Evicted         int `json:"evicted"`
+	StartLevel      int `json:"start_level"`
+}
+
+type explainResponse struct {
+	Table       string                 `json:"table"`
+	Explanation report.JSONExplanation `json:"explanation"`
+	SQL         string                 `json:"sql"`
+	Cost        float64                `json:"cost"`
+	TrivialCost float64                `json:"trivial_cost"`
+	Compression float64                `json:"compression"`
+	Stats       explainStats           `json:"stats"`
+}
+
+// handleExplain serves POST /explain: a multipart upload with CSV files
+// "source" and "target" (first row = header). Optional form/query values:
+//
+//	table   session key and SQL table name (default "table")
+//	format  json (default) | sql | text
+//	warm    "1" warm-starts from the table's previous explanation and
+//	        stores the new one (chain mode)
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.maxInflight != nil {
+		s.maxInflight <- struct{}{}
+		defer func() { <-s.maxInflight }()
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxUpload)
+	if err := r.ParseMultipartForm(s.maxUpload); err != nil {
+		http.Error(w, fmt.Sprintf("parsing upload: %v", err), http.StatusBadRequest)
+		return
+	}
+	defer r.MultipartForm.RemoveAll()
+	read := func(field string) (*affidavit.Table, error) {
+		f, _, err := r.FormFile(field)
+		if err != nil {
+			return nil, fmt.Errorf("missing %q file: %w", field, err)
+		}
+		defer f.Close()
+		return affidavit.ReadCSV(f)
+	}
+	src, err := read("source")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tgt, err := read("target")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	table := r.FormValue("table")
+	if table == "" {
+		table = "table"
+	}
+	sess := s.session(table)
+	var res *affidavit.Result
+	if r.FormValue("warm") == "1" {
+		res, err = sess.ExplainWarm(src, tgt)
+	} else {
+		res, err = sess.ExplainPair(src, tgt)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+
+	switch r.FormValue("format") {
+	case "", "json":
+		// Guard the ratio: empty snapshots explain for free (cost 0 of
+		// trivial 0) and NaN is not encodable as JSON.
+		compression := 0.0
+		if res.TrivialCost > 0 {
+			compression = res.Cost / res.TrivialCost
+		}
+		resp := explainResponse{
+			Table:       table,
+			Explanation: report.ToJSON(res.Explanation, delta.CostModel{Alpha: s.alpha}),
+			SQL:         res.SQL(table),
+			Cost:        res.Cost,
+			TrivialCost: res.TrivialCost,
+			Compression: compression,
+			Stats: explainStats{
+				Polls:           res.Stats.Polls,
+				StatesGenerated: res.Stats.StatesGenerated,
+				Enqueued:        res.Stats.Enqueued,
+				Evicted:         res.Stats.Evicted,
+				StartLevel:      res.Stats.StartLevel,
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "sql":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.SQL(table))
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Report())
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q", r.FormValue("format")), http.StatusBadRequest)
+	}
+}
+
+type tableStats struct {
+	Runs       int `json:"runs"`
+	PoolAttrs  int `json:"pool_attrs"`
+	PoolValues int `json:"pool_values"`
+}
+
+// handleStats serves GET /stats: per-table session counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]tableStats, len(names))
+	for _, name := range names {
+		sess := s.sessions[name]
+		attrs, values := sess.PoolStats()
+		out[name] = tableStats{Runs: sess.Runs(), PoolAttrs: attrs, PoolValues: values}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]map[string]tableStats{"tables": out}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

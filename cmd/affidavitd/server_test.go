@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"affidavit"
+	"affidavit/internal/datasets"
+	"affidavit/internal/gen"
+	"affidavit/internal/table"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 31
+	srv := httptest.NewServer(newServer(opts, 16<<20, 0).handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func csvOf(t *testing.T, tab *table.Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// multipartBody builds an /explain upload from two CSV strings.
+func multipartBody(t *testing.T, source, target string, fields map[string]string) (string, io.Reader) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for name, content := range map[string]string{"source": source, "target": target} {
+		fw, err := mw.CreateFormFile(name, name+".csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(fw, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range fields {
+		if err := mw.WriteField(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return mw.FormDataContentType(), &buf
+}
+
+func testChain(t *testing.T, steps int) *gen.ChainProblem {
+	t.Helper()
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := gen.MakeChain(tab, gen.ChainConfig{Steps: steps, Eta: 0.1, Tau: 0.5, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func post(t *testing.T, srv *httptest.Server, source, target string, fields map[string]string) (int, []byte) {
+	t.Helper()
+	ctype, body := multipartBody(t, source, target, fields)
+	resp, err := http.Post(srv.URL+"/explain", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 1)
+	src, tgt := csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1])
+
+	code, body := post(t, srv, src, tgt, map[string]string{"table": "bridges"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.Table != "bridges" {
+		t.Errorf("table %q", resp.Table)
+	}
+	if len(resp.Explanation.Functions) == 0 {
+		t.Error("no functions in response")
+	}
+	if resp.Cost <= 0 || resp.Cost >= resp.TrivialCost {
+		t.Errorf("cost %v vs trivial %v: no structure found", resp.Cost, resp.TrivialCost)
+	}
+	if !strings.Contains(resp.SQL, "bridges") {
+		t.Error("SQL script not rendered for the table name")
+	}
+	if resp.Stats.Polls == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestExplainFormats(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 1)
+	src, tgt := csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1])
+
+	code, body := post(t, srv, src, tgt, map[string]string{"table": "b", "format": "sql"})
+	if code != http.StatusOK || !strings.Contains(string(body), "UPDATE") && !strings.Contains(string(body), "DELETE") && !strings.Contains(string(body), "INSERT") {
+		t.Errorf("sql format: status %d body %.120s", code, body)
+	}
+	code, body = post(t, srv, src, tgt, map[string]string{"format": "text"})
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("text format: status %d", code)
+	}
+	code, body = post(t, srv, src, tgt, map[string]string{"format": "yaml"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d body %.120s", code, body)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	srv := testServer(t)
+	// Missing files.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.Close()
+	resp, err := http.Post(srv.URL+"/explain", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing files: status %d", resp.StatusCode)
+	}
+	// Mismatched schemas.
+	code, _ := post(t, srv, "a,b\n1,2\n", "x\n9\n", nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("schema mismatch: status %d", code)
+	}
+	// GET not allowed.
+	get, err := http.Get(srv.URL + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", get.StatusCode)
+	}
+}
+
+// TestConcurrentIdenticalRequests is the service acceptance check:
+// concurrent POST /explain requests are race-clean and identical inputs
+// yield byte-identical reports, shared pool or not.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 1)
+	src, tgt := csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1])
+
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := post(t, srv, src, tgt, map[string]string{"table": "same"})
+			if code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, code)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+}
+
+// TestWarmChainViaService: successive warm uploads of the same table reuse
+// the previous explanation — the service-side incremental path — and
+// report the same explanation with fewer polls.
+func TestWarmChainViaService(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 3)
+	var polls []int
+	var costs []float64
+	for i := 1; i < len(ch.Snapshots); i++ {
+		code, body := post(t, srv,
+			csvOf(t, ch.Snapshots[i-1]), csvOf(t, ch.Snapshots[i]),
+			map[string]string{"table": "chain", "warm": "1"})
+		if code != http.StatusOK {
+			t.Fatalf("step %d: status %d: %s", i, code, body)
+		}
+		var resp explainResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		polls = append(polls, resp.Stats.Polls)
+		costs = append(costs, resp.Cost)
+	}
+	for i := 1; i < len(polls); i++ {
+		if polls[i] >= polls[0] {
+			t.Errorf("warm step %d polled %d states, cold step polled %d — no warm speedup",
+				i+1, polls[i], polls[0])
+		}
+	}
+	// /stats reflects the session.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Tables map[string]tableStats `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tables["chain"].Runs != 3 || stats.Tables["chain"].PoolValues == 0 {
+		t.Errorf("stats: %+v", stats.Tables["chain"])
+	}
+}
+
+// TestExplainEmptySnapshots: header-only CSVs are valid empty tables; the
+// JSON path must not emit NaN ratios.
+func TestExplainEmptySnapshots(t *testing.T) {
+	srv := testServer(t)
+	code, body := post(t, srv, "a,b\n", "a,b\n", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.Compression != 0 {
+		t.Errorf("compression %v, want 0 for an empty pair", resp.Compression)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}

@@ -83,16 +83,20 @@ func (c *applyCache) memo(co *delta.Coded, attr int, f metafunc.Func) applyMemo 
 	return m
 }
 
+// buildMemo fills entries only for codes present in the pair's columns —
+// the only codes a refinement can read — so per-memo apply/intern work is
+// bounded by the pair's value set, not by how much a long-lived dictionary
+// pool has accumulated.
 func buildMemo(co *delta.Coded, attr int, f metafunc.Func) applyMemo {
 	dict := co.Dicts[attr]
 	built := make(applyMemo, co.Base[attr])
 	if metafunc.IsIdentity(f) {
-		for i := range built {
-			built[i] = int32(i)
+		for _, c := range co.Present[attr] {
+			built[c] = c
 		}
 	} else {
-		for i := range built {
-			built[i] = dict.Code(f.Apply(dict.Value(int32(i))))
+		for _, c := range co.Present[attr] {
+			built[c] = dict.Code(f.Apply(dict.Value(c)))
 		}
 	}
 	return built
@@ -107,6 +111,7 @@ type Result struct {
 	blocks     []*Block
 	srcBlockOf []int32
 	tgtBlockOf []int32
+	workers    int // ≤ 1 = fully sequential refinement
 }
 
 // New returns the blocking result of the all-undecided state: a single
@@ -132,73 +137,83 @@ func New(inst *delta.Instance) *Result {
 	return r
 }
 
+// WithWorkers returns a result whose refinements — and those of every
+// result derived from it — may partition very large blocks across up to n
+// goroutines. n ≤ 1 returns the receiver unchanged. The parallel and
+// sequential refinement paths produce byte-identical results.
+func (r *Result) WithWorkers(n int) *Result {
+	if n <= 1 || n == r.workers {
+		return r
+	}
+	nr := *r
+	nr.workers = n
+	return &nr
+}
+
+// parallelBlockMin is the record count at which Refine partitions one
+// block's grouping across goroutines. Below it the per-chunk bookkeeping
+// outweighs the hash work; above it one huge block (the common shape early
+// in a search, when few attributes are decided) scales with cores instead
+// of serialising a whole refinement.
+const parallelBlockMin = 1 << 14
+
 // Refine returns the blocking result after additionally deciding attribute
 // attr with function f: each block splits by f(source value) on the source
 // side and the raw value on the target side. The receiver is unchanged.
 // Refine is safe to call concurrently on the same receiver; the resulting
 // blocks are ordered deterministically (parent-block order, then first
-// appearance in record order).
+// appearance in record order) regardless of WithWorkers.
 func (r *Result) Refine(attr int, f metafunc.Func) *Result {
-	memo := r.cache.memo(r.coded, attr, f)
-	srcCodes := r.coded.Src[attr]
-	tgtCodes := r.coded.Tgt[attr]
 	nSrc, nTgt := len(r.srcBlockOf), len(r.tgtBlockOf)
 
 	// Pass 1: group every record by (parent block, split code), recording
 	// its sub-block index. Sub-blocks are numbered in parent order, then
 	// first appearance, so the block order is deterministic.
-	srcBlockOf := make([]int32, nSrc)
-	tgtBlockOf := make([]int32, nTgt)
-	var codes []int32 // split code per sub-block
-	var cntS, cntT []int32
-	sub := make(map[int32]int32) // split code → sub-block index, per parent
+	g := &grouper{
+		memo:       r.cache.memo(r.coded, attr, f),
+		srcCodes:   r.coded.Src[attr],
+		tgtCodes:   r.coded.Tgt[attr],
+		srcBlockOf: make([]int32, nSrc),
+		tgtBlockOf: make([]int32, nTgt),
+		sub:        make(map[int32]int32),
+	}
+	// Partitioning pays off only for low-cardinality splits: the merge
+	// touches every distinct (chunk, split code) pair sequentially, so when
+	// nearly every record carries a distinct code (key-like attributes) the
+	// merge would redo the whole grouping. The dictionary size bounds the
+	// distinct split codes cheaply.
+	distinct := r.coded.Dicts[attr].Len()
 	for _, b := range r.blocks {
-		clear(sub)
-		get := func(c int32) int32 {
-			idx, ok := sub[c]
-			if !ok {
-				idx = int32(len(codes))
-				sub[c] = idx
-				codes = append(codes, c)
-				cntS = append(cntS, 0)
-				cntT = append(cntT, 0)
-			}
-			return idx
-		}
-		for _, s := range b.Src {
-			idx := get(memo[srcCodes[s]])
-			cntS[idx]++
-			srcBlockOf[s] = idx
-		}
-		for _, t := range b.Tgt {
-			idx := get(tgtCodes[t])
-			cntT[idx]++
-			tgtBlockOf[t] = idx
+		n := len(b.Src) + len(b.Tgt)
+		if r.workers > 1 && n >= parallelBlockMin && distinct*8 <= n {
+			g.groupParallel(b, r.workers)
+		} else {
+			g.group(b)
 		}
 	}
 
 	// Pass 2: carve exactly-sized record slices out of two shared backing
 	// arrays and fill them in the parent iteration order.
-	arena := make([]Block, len(codes))
-	blocks := make([]*Block, len(codes))
+	arena := make([]Block, len(g.codes))
+	blocks := make([]*Block, len(g.codes))
 	srcStore := make([]int32, 0, nSrc)
 	tgtStore := make([]int32, 0, nTgt)
 	for i := range arena {
 		off := len(srcStore)
-		srcStore = srcStore[:off+int(cntS[i])]
+		srcStore = srcStore[:off+int(g.cntS[i])]
 		arena[i].Src = srcStore[off:off:len(srcStore)]
 		off = len(tgtStore)
-		tgtStore = tgtStore[:off+int(cntT[i])]
+		tgtStore = tgtStore[:off+int(g.cntT[i])]
 		arena[i].Tgt = tgtStore[off:off:len(tgtStore)]
 		blocks[i] = &arena[i]
 	}
 	for _, b := range r.blocks {
 		for _, s := range b.Src {
-			nb := blocks[srcBlockOf[s]]
+			nb := blocks[g.srcBlockOf[s]]
 			nb.Src = append(nb.Src, s)
 		}
 		for _, t := range b.Tgt {
-			nb := blocks[tgtBlockOf[t]]
+			nb := blocks[g.tgtBlockOf[t]]
 			nb.Tgt = append(nb.Tgt, t)
 		}
 	}
@@ -207,9 +222,172 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 		coded:      r.coded,
 		cache:      r.cache,
 		blocks:     blocks,
-		srcBlockOf: srcBlockOf,
-		tgtBlockOf: tgtBlockOf,
+		srcBlockOf: g.srcBlockOf,
+		tgtBlockOf: g.tgtBlockOf,
+		workers:    r.workers,
 	}
+}
+
+// grouper carries the state of Refine's grouping pass: the global sub-block
+// tables plus the per-parent split map.
+type grouper struct {
+	memo               applyMemo
+	srcCodes, tgtCodes []int32
+	srcBlockOf         []int32
+	tgtBlockOf         []int32
+	codes              []int32 // split code per sub-block
+	cntS, cntT         []int32
+	sub                map[int32]int32 // split code → sub-block index, per parent
+}
+
+// get returns the sub-block index of split code c within the current
+// parent, assigning the next global index on first sight.
+func (g *grouper) get(c int32) int32 {
+	idx, ok := g.sub[c]
+	if !ok {
+		idx = int32(len(g.codes))
+		g.sub[c] = idx
+		g.codes = append(g.codes, c)
+		g.cntS = append(g.cntS, 0)
+		g.cntT = append(g.cntT, 0)
+	}
+	return idx
+}
+
+// group splits one parent block sequentially.
+func (g *grouper) group(b *Block) {
+	clear(g.sub)
+	for _, s := range b.Src {
+		idx := g.get(g.memo[g.srcCodes[s]])
+		g.cntS[idx]++
+		g.srcBlockOf[s] = idx
+	}
+	for _, t := range b.Tgt {
+		idx := g.get(g.tgtCodes[t])
+		g.cntT[idx]++
+		g.tgtBlockOf[t] = idx
+	}
+}
+
+// refineChunk is one contiguous range of a parent block's scan order with
+// its chunk-local grouping tables.
+type refineChunk struct {
+	src, tgt []int32 // sub-ranges of the parent's record lists
+	order    []int32 // distinct split codes in first-appearance order
+	cntS     []int32 // records per local sub-block
+	cntT     []int32
+	remap    []int32 // local sub-block index → global index
+}
+
+// groupParallel splits one huge parent block with partitioned record
+// ranges. The sequential scan order is all of b.Src followed by all of
+// b.Tgt; chunks are contiguous ranges of that concatenation, so merging the
+// chunk-local first-appearance orders in chunk order reproduces the
+// sequential sub-block numbering exactly:
+//
+//  1. (parallel) each chunk groups its records into chunk-local sub-blocks,
+//     parking the local index of every record in the global blockOf arrays
+//     (records are disjoint across chunks, so the writes never race);
+//  2. (sequential) chunk tables merge in chunk order into the global
+//     numbering, summing counts and recording a local→global remap;
+//  3. (parallel) every parked local index is rewritten to its global one.
+//
+// Only the map-heavy grouping work runs concurrently; the merge touches one
+// entry per distinct (chunk, split code) pair, not one per record.
+func (g *grouper) groupParallel(b *Block, workers int) {
+	total := len(b.Src) + len(b.Tgt)
+	chunkLen := (total + workers - 1) / workers
+	if chunkLen < parallelBlockMin/4 {
+		chunkLen = parallelBlockMin / 4
+	}
+	var chunks []*refineChunk
+	for off := 0; off < total; off += chunkLen {
+		end := off + chunkLen
+		if end > total {
+			end = total
+		}
+		ck := &refineChunk{}
+		if off < len(b.Src) {
+			sEnd := end
+			if sEnd > len(b.Src) {
+				sEnd = len(b.Src)
+			}
+			ck.src = b.Src[off:sEnd]
+		}
+		if end > len(b.Src) {
+			tOff := off - len(b.Src)
+			if tOff < 0 {
+				tOff = 0
+			}
+			ck.tgt = b.Tgt[tOff : end-len(b.Src)]
+		}
+		chunks = append(chunks, ck)
+	}
+
+	runChunks := func(task func(*refineChunk)) {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, ck := range chunks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ck *refineChunk) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				task(ck)
+			}(ck)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: chunk-local grouping.
+	runChunks(func(ck *refineChunk) {
+		local := make(map[int32]int32)
+		get := func(c int32) int32 {
+			idx, ok := local[c]
+			if !ok {
+				idx = int32(len(ck.order))
+				local[c] = idx
+				ck.order = append(ck.order, c)
+				ck.cntS = append(ck.cntS, 0)
+				ck.cntT = append(ck.cntT, 0)
+			}
+			return idx
+		}
+		for _, s := range ck.src {
+			idx := get(g.memo[g.srcCodes[s]])
+			ck.cntS[idx]++
+			g.srcBlockOf[s] = idx
+		}
+		for _, t := range ck.tgt {
+			idx := get(g.tgtCodes[t])
+			ck.cntT[idx]++
+			g.tgtBlockOf[t] = idx
+		}
+	})
+
+	// Phase 2: deterministic merge in chunk order.
+	clear(g.sub)
+	for _, ck := range chunks {
+		ck.remap = make([]int32, len(ck.order))
+		for li, c := range ck.order {
+			gi := g.get(c)
+			ck.remap[li] = gi
+			g.cntS[gi] += ck.cntS[li]
+			g.cntT[gi] += ck.cntT[li]
+		}
+	}
+
+	// Phase 3: rewrite parked local indices to global ones.
+	runChunks(func(ck *refineChunk) {
+		for _, s := range ck.src {
+			g.srcBlockOf[s] = ck.remap[g.srcBlockOf[s]]
+		}
+		for _, t := range ck.tgt {
+			g.tgtBlockOf[t] = ck.remap[g.tgtBlockOf[t]]
+		}
+	})
 }
 
 // Instance returns the problem instance the result was built over.

@@ -1,0 +1,139 @@
+package blocking_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/table"
+)
+
+func add7() metafunc.Func {
+	f, err := metafunc.NewAdd("7")
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// bigInstance builds an instance whose root block comfortably exceeds the
+// parallel-refinement threshold, with skewed cardinalities so chunks see
+// both repeated and novel split codes.
+func bigInstance(t testing.TB, rows int) *delta.Instance {
+	t.Helper()
+	schema := table.MustSchema("hi", "lo", "num")
+	rng := rand.New(rand.NewSource(5))
+	rec := func() table.Record {
+		return table.Record{
+			fmt.Sprintf("v%d", rng.Intn(rows/2)), // high cardinality
+			fmt.Sprintf("g%d", rng.Intn(7)),      // low cardinality
+			fmt.Sprintf("%d", rng.Intn(1000)),
+		}
+	}
+	src := table.New(schema)
+	tgt := table.New(schema)
+	for i := 0; i < rows; i++ {
+		r := rec()
+		if err := src.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		// Most targets mirror a transformed source record; some are fresh.
+		if rng.Intn(10) == 0 {
+			r = rec()
+		}
+		r = r.Clone()
+		r[2] = add7().Apply(r[2])
+		if err := tgt.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inst, err := delta.NewInstance(src, tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func assertSameBlocking(t *testing.T, label string, a, b *blocking.Result) {
+	t.Helper()
+	ab, bb := a.Blocks(), b.Blocks()
+	if len(ab) != len(bb) {
+		t.Fatalf("%s: %d vs %d blocks", label, len(ab), len(bb))
+	}
+	for i := range ab {
+		if !equalInt32(ab[i].Src, bb[i].Src) || !equalInt32(ab[i].Tgt, bb[i].Tgt) {
+			t.Fatalf("%s: block %d differs", label, i)
+		}
+	}
+	for s := 0; s < a.Instance().Source.Len(); s++ {
+		if a.BlockOfSource(s) != ab[indexOf(ab, b.BlockOfSource(s), bb)] {
+			t.Fatalf("%s: source %d mapped to different blocks", label, s)
+		}
+	}
+}
+
+func indexOf(in []*blocking.Block, want *blocking.Block, from []*blocking.Block) int {
+	for i, b := range from {
+		if b == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelRefineEquivalence: partitioned refinement produces
+// byte-identical blocking results — same block order, same record order
+// within blocks, same record→block maps — for every worker count and for
+// chained refinements whose intermediate blocks straddle the threshold.
+func TestParallelRefineEquivalence(t *testing.T) {
+	inst := bigInstance(t, 40000)
+	seqRoot := blocking.New(inst)
+	refine := func(r *blocking.Result) []*blocking.Result {
+		a := r.Refine(2, add7())              // splits off the numeric shift
+		b := a.Refine(1, metafunc.Identity{}) // big blocks survive (7 groups)
+		c := b.Refine(0, metafunc.Identity{}) // shatters into small blocks
+		d := c.Refine(2, metafunc.Upper{})    // no-op on digits, keeps blocks
+		return []*blocking.Result{a, b, c, d}
+	}
+	want := refine(seqRoot)
+	for _, workers := range []int{2, 3, 8, 32} {
+		got := refine(blocking.New(inst).WithWorkers(workers))
+		for i := range want {
+			assertSameBlocking(t, fmt.Sprintf("workers=%d step %d", workers, i), want[i], got[i])
+		}
+	}
+}
+
+// TestParallelRefineSurplus: the cost bounds derived from a parallel
+// refinement match the sequential ones.
+func TestParallelRefineSurplus(t *testing.T) {
+	inst := bigInstance(t, 20000)
+	seq := blocking.New(inst).Refine(1, metafunc.Identity{})
+	par := blocking.New(inst).WithWorkers(8).Refine(1, metafunc.Identity{})
+	if seq.TargetSurplus() != par.TargetSurplus() {
+		t.Errorf("target surplus %d vs %d", seq.TargetSurplus(), par.TargetSurplus())
+	}
+	if seq.SourceSurplus() != par.SourceSurplus() {
+		t.Errorf("source surplus %d vs %d", seq.SourceSurplus(), par.SourceSurplus())
+	}
+	for a := 0; a < inst.NumAttrs(); a++ {
+		if seq.Indeterminacy(a) != par.Indeterminacy(a) {
+			t.Errorf("attr %d: indeterminacy %d vs %d", a, seq.Indeterminacy(a), par.Indeterminacy(a))
+		}
+	}
+}

@@ -20,6 +20,7 @@ type Instance struct {
 	Target *table.Table
 	Metas  []metafunc.Meta
 
+	dicts     []*table.Dict // pre-seeded dictionaries; nil = fresh per attribute
 	codedOnce sync.Once
 	coded     *Coded
 }
@@ -35,6 +36,31 @@ func NewInstance(source, target *table.Table, metas []metafunc.Meta) (*Instance,
 		metas = metafunc.DefaultMetas()
 	}
 	return &Instance{Source: source, Target: target, Metas: metas}, nil
+}
+
+// NewInstanceWithDicts is NewInstance with pre-seeded per-attribute
+// dictionaries (one per schema attribute, typically from a table.DictPool):
+// the coded view interns both snapshots into the given dictionaries, so
+// values already interned by earlier runs keep their codes and are not
+// re-interned. Explanations are unaffected by the pre-seeding — nothing in
+// the pipeline depends on numeric code order — only the interning work
+// changes.
+func NewInstanceWithDicts(source, target *table.Table, metas []metafunc.Meta, dicts []*table.Dict) (*Instance, error) {
+	inst, err := NewInstance(source, target, metas)
+	if err != nil {
+		return nil, err
+	}
+	if len(dicts) != inst.NumAttrs() {
+		return nil, fmt.Errorf("delta: got %d dictionaries, schema has %d attributes",
+			len(dicts), inst.NumAttrs())
+	}
+	for a, d := range dicts {
+		if d == nil {
+			return nil, fmt.Errorf("delta: dictionary for attribute %d is nil", a)
+		}
+	}
+	inst.dicts = dicts
+	return inst, nil
 }
 
 // Schema returns the shared schema A.
@@ -59,8 +85,17 @@ type Coded struct {
 	Src, Tgt [][]int32
 	// Base[a] is Dicts[a].Len() right after both raw columns were interned.
 	// Raw snapshot values always have codes < Base[a]; codes ≥ Base[a] are
-	// function outputs interned later.
+	// function outputs interned later by this run. With pre-seeded
+	// dictionaries (NewInstanceWithDicts) codes < Base[a] may also cover
+	// values from earlier runs that this pair never uses — memo tables sized
+	// by Base stay correct, just sparser.
 	Base []int32
+	// Present[a] lists the distinct codes that actually occur in either of
+	// attribute a's columns, in first-appearance order. Function memos
+	// iterate Present instead of the full [0, Base) range, so per-run apply
+	// work is bounded by the pair's own value set even when a long-lived
+	// dictionary pool has interned far more over its lifetime.
+	Present [][]int32
 }
 
 // Coded returns the interned columnar view, building it on first use. The
@@ -69,16 +104,30 @@ func (in *Instance) Coded() *Coded {
 	in.codedOnce.Do(func() {
 		d := in.NumAttrs()
 		co := &Coded{
-			Dicts: make([]*table.Dict, d),
-			Src:   make([][]int32, d),
-			Tgt:   make([][]int32, d),
-			Base:  make([]int32, d),
+			Dicts:   make([]*table.Dict, d),
+			Src:     make([][]int32, d),
+			Tgt:     make([][]int32, d),
+			Base:    make([]int32, d),
+			Present: make([][]int32, d),
 		}
 		for a := 0; a < d; a++ {
-			co.Dicts[a] = table.NewDict()
+			if in.dicts != nil {
+				co.Dicts[a] = in.dicts[a]
+			} else {
+				co.Dicts[a] = table.NewDict()
+			}
 			co.Src[a] = in.Source.CodeColumn(a, co.Dicts[a])
 			co.Tgt[a] = in.Target.CodeColumn(a, co.Dicts[a])
 			co.Base[a] = int32(co.Dicts[a].Len())
+			seen := make([]bool, co.Base[a])
+			for _, col := range [][]int32{co.Src[a], co.Tgt[a]} {
+				for _, c := range col {
+					if !seen[c] {
+						seen[c] = true
+						co.Present[a] = append(co.Present[a], c)
+					}
+				}
+			}
 		}
 		in.coded = co
 	})
@@ -157,8 +206,10 @@ func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
 	d := inst.NumAttrs()
 	// Per-attribute memo over the raw code space: memos[a][c] is the code of
 	// funcs[a] applied to value c, or -1 when the output is no snapshot value
-	// (such an image can never match a target record). Identity attributes
-	// skip the memo entirely.
+	// (such an image can never match a target record). Only codes present in
+	// this pair are filled — the rest are never read — so pooled
+	// dictionaries holding other runs' values cost nothing here. Identity
+	// attributes skip the memo entirely.
 	memos := make([][]int32, d)
 	for a := 0; a < d; a++ {
 		if metafunc.IsIdentity(funcs[a]) {
@@ -166,8 +217,8 @@ func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
 		}
 		dict := co.Dicts[a]
 		m := make([]int32, co.Base[a])
-		for c := range m {
-			if out, ok := dict.Lookup(funcs[a].Apply(dict.Value(int32(c)))); ok {
+		for _, c := range co.Present[a] {
+			if out, ok := dict.Lookup(funcs[a].Apply(dict.Value(c))); ok {
 				m[c] = out
 			} else {
 				m[c] = -1

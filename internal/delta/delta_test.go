@@ -1,6 +1,7 @@
 package delta_test
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -231,5 +232,65 @@ func TestQuickCostMonotoneInInsertions(t *testing.T) {
 	triv := delta.Trivial(inst)
 	if delta.DefaultCosts.Cost(ref) >= delta.DefaultCosts.Cost(triv) {
 		t.Error("reference explanation should beat trivial")
+	}
+}
+
+// TestNewInstanceWithDicts: pre-seeded dictionaries put the coded view in
+// the pool's code space without changing which records group together.
+func TestNewInstanceWithDicts(t *testing.T) {
+	inst := fixture.Instance()
+	pool := table.NewDictPool()
+	dicts := pool.DictsFor(inst.Schema())
+	// Pre-pollute the pool so pooled codes differ from fresh ones.
+	for _, d := range dicts {
+		d.Code("previously-interned")
+	}
+	pooled, err := delta.NewInstanceWithDicts(inst.Source, inst.Target, inst.Metas, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := inst.Coded()
+	co := pooled.Coded()
+	for a := range co.Dicts {
+		if co.Dicts[a] != dicts[a] {
+			t.Fatalf("attr %d: coded view not using the pooled dict", a)
+		}
+		if co.Base[a] <= fresh.Base[a] {
+			t.Errorf("attr %d: pooled base %d not above fresh base %d", a, co.Base[a], fresh.Base[a])
+		}
+		// Same strings behind the codes, record by record.
+		for i, c := range co.Src[a] {
+			if co.Dicts[a].Value(c) != fresh.Dicts[a].Value(fresh.Src[a][i]) {
+				t.Fatalf("attr %d source record %d: value mismatch", a, i)
+			}
+		}
+	}
+	// Explanations built over the pooled view equal fresh ones.
+	ft := delta.IdentityTuple(pooled.NumAttrs())
+	a, err := delta.Build(pooled, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := delta.Build(inst, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.CoreSrc) != fmt.Sprint(b.CoreSrc) ||
+		fmt.Sprint(a.Deleted) != fmt.Sprint(b.Deleted) ||
+		fmt.Sprint(a.Inserted) != fmt.Sprint(b.Inserted) {
+		t.Error("pooled Build differs from fresh Build")
+	}
+}
+
+// TestNewInstanceWithDictsValidation: the dict set must match the schema.
+func TestNewInstanceWithDictsValidation(t *testing.T) {
+	inst := fixture.Instance()
+	if _, err := delta.NewInstanceWithDicts(inst.Source, inst.Target, nil,
+		[]*table.Dict{table.NewDict()}); err == nil {
+		t.Fatal("want error for wrong dict count")
+	}
+	dicts := make([]*table.Dict, inst.NumAttrs())
+	if _, err := delta.NewInstanceWithDicts(inst.Source, inst.Target, nil, dicts); err == nil {
+		t.Fatal("want error for nil dict entry")
 	}
 }

@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/table"
+)
+
+func chainTable(t *testing.T, name string) *table.Table {
+	t.Helper()
+	ds, err := datasets.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestMakeChainShape(t *testing.T) {
+	tab := chainTable(t, "bridges")
+	ch, err := MakeChain(tab, ChainConfig{Steps: 3, Eta: 0.2, Tau: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Snapshots) != 4 {
+		t.Fatalf("got %d snapshots, want 4", len(ch.Snapshots))
+	}
+	n := ch.Snapshots[0].Len()
+	if n < 2 {
+		t.Fatalf("snapshot size %d too small", n)
+	}
+	for i, s := range ch.Snapshots {
+		if s.Len() != n {
+			t.Errorf("snapshot %d has %d records, want %d", i, s.Len(), n)
+		}
+		if s.Schema().Index("rid") != ch.KeyAttr {
+			t.Errorf("snapshot %d: key attribute not at %d", i, ch.KeyAttr)
+		}
+	}
+	if len(ch.Funcs) != ch.Snapshots[0].Schema().Len() {
+		t.Errorf("funcs tuple has %d entries, schema has %d",
+			len(ch.Funcs), ch.Snapshots[0].Schema().Len())
+	}
+}
+
+func TestMakeChainDeterministic(t *testing.T) {
+	tab := chainTable(t, "iris")
+	cfg := ChainConfig{Steps: 2, Eta: 0.1, Tau: 0.5, Seed: 3}
+	a, err := MakeChain(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MakeChain(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Snapshots {
+		sa, sb := a.Snapshots[i], b.Snapshots[i]
+		if sa.Len() != sb.Len() {
+			t.Fatalf("snapshot %d sizes differ", i)
+		}
+		for r := 0; r < sa.Len(); r++ {
+			if !sa.Record(r).Equal(sb.Record(r)) {
+				t.Fatalf("snapshot %d record %d differs: %v vs %v",
+					i, r, sa.Record(r), sb.Record(r))
+			}
+		}
+	}
+}
+
+// TestMakeChainStableKeys: by default each record's key survives every
+// transition, so the multiset of keys shrinks only by the η-deletions.
+func TestMakeChainStableKeys(t *testing.T) {
+	tab := chainTable(t, "balance")
+	ch, err := MakeChain(tab, ChainConfig{Steps: 2, Eta: 0.2, Tau: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(s *table.Table) map[string]bool {
+		m := make(map[string]bool)
+		for i := 0; i < s.Len(); i++ {
+			m[s.Value(i, ch.KeyAttr)] = true
+		}
+		return m
+	}
+	prev := keys(ch.Snapshots[0])
+	for i := 1; i < len(ch.Snapshots); i++ {
+		cur := keys(ch.Snapshots[i])
+		shared := 0
+		for k := range cur {
+			if prev[k] {
+				shared++
+			}
+		}
+		if shared == 0 {
+			t.Errorf("step %d: no keys survived, want stable keys", i)
+		}
+		prev = cur
+	}
+}
+
+// TestMakeChainPermutedKeys: with PermuteKeys every snapshot re-keys, so
+// key sets are permutations of 0..n-1 every time.
+func TestMakeChainPermutedKeys(t *testing.T) {
+	tab := chainTable(t, "balance")
+	ch, err := MakeChain(tab, ChainConfig{Steps: 2, Eta: 0.1, Tau: 0.3, Seed: 5, PermuteKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ch.Snapshots {
+		seen := make(map[string]bool)
+		for r := 0; r < s.Len(); r++ {
+			k := s.Value(r, ch.KeyAttr)
+			if seen[k] {
+				t.Fatalf("snapshot %d: duplicate key %q", i, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestMakeChainSustainedFuncs: applying the chain's function tuple to a
+// surviving record of snapshot i reproduces its snapshot-i+1 values (keys
+// identify records under the default stable-keys regime).
+func TestMakeChainSustainedFuncs(t *testing.T) {
+	tab := chainTable(t, "bridges")
+	ch, err := MakeChain(tab, ChainConfig{Steps: 3, Eta: 0.2, Tau: 0.7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(ch.Snapshots); i++ {
+		src, tgt := ch.Snapshots[i], ch.Snapshots[i+1]
+		byKey := make(map[string]int)
+		for r := 0; r < tgt.Len(); r++ {
+			byKey[tgt.Value(r, ch.KeyAttr)] = r
+		}
+		checked := 0
+		for r := 0; r < src.Len(); r++ {
+			tr, ok := byKey[src.Value(r, ch.KeyAttr)]
+			if !ok {
+				continue // deleted on this transition
+			}
+			img := ch.Funcs.Apply(src.Record(r))
+			if !img.Equal(tgt.Record(tr)) {
+				t.Fatalf("step %d: F(src %d) = %v ≠ tgt %d = %v",
+					i, r, img, tr, tgt.Record(tr))
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("step %d: no surviving records checked", i)
+		}
+	}
+}

@@ -142,3 +142,38 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+// TestParallelEquivalenceAboveRefineThreshold runs an instance big enough
+// that the root block crosses blocking's partitioned-refinement threshold,
+// so the engine's parallel path exercises intra-Refine partitioning too —
+// results must still be byte-identical to the sequential engine.
+func TestParallelEquivalenceAboveRefineThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	ds, err := datasets.Get("flight-500k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.BuildRows(20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := search.DefaultOptions()
+	seq.Seed = 3
+	par := seq
+	par.Workers = 8
+	a, err := search.Run(p.Inst, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := search.Run(p.Inst, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, a, b)
+}

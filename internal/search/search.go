@@ -78,6 +78,30 @@ type Options struct {
 	// Tracer callbacks always fire from the polling goroutine, in
 	// deterministic order, regardless of Workers.
 	Tracer Tracer
+	// WarmStart, when non-nil, switches Run into incremental mode — the
+	// warm-start API for snapshot chains: when diffing snapshot n against
+	// n+1, the explanation of (n−1, n) is usually mostly right, so instead
+	// of the cold H₀ states the queue is seeded with start states derived
+	// from the previous run's function tuple, re-applied to the new pair,
+	// re-blocked and re-costed. Must have one entry per attribute; nil
+	// entries leave that attribute undecided. Because explicit value
+	// mappings are alignment-specific (rewritten keys are re-permuted
+	// between every pair), a second warm state with all Mapping entries
+	// left undecided is seeded as well, so a stale key mapping never hides
+	// the reusable part of the tuple.
+	//
+	// A recurring transformation pattern is then confirmed in a handful of
+	// polls — the warm states start at (or next to) an end state — instead
+	// of being re-discovered through the full lattice climb; this is what
+	// makes chain runs converge in far fewer expansions. The trade-off is
+	// that incremental runs anchor on the previous structure: when the new
+	// pair no longer resembles it, the search still extends, finalises and
+	// re-optimises from the warm states and always returns a valid
+	// explanation, but it may differ from a cold run's. Callers wanting
+	// cold-search guarantees leave WarmStart nil. Fixed seeds remain fully
+	// deterministic, and the parallel engine remains equivalent to the
+	// sequential one.
+	WarmStart []metafunc.Func
 }
 
 // DefaultOptions returns the paper's H^id evaluation configuration
@@ -142,6 +166,10 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("search: Workers must be ≥ 0, got %d", opts.Workers)
 	}
+	if opts.WarmStart != nil && len(opts.WarmStart) != inst.NumAttrs() {
+		return nil, fmt.Errorf("search: WarmStart has %d functions, schema has %d attributes",
+			len(opts.WarmStart), inst.NumAttrs())
+	}
 	start := time.Now()
 	e := &engine{
 		opts:  opts,
@@ -154,8 +182,13 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 		// semaphore holds Workers−1 extra slots.
 		e.sem = make(chan struct{}, opts.Workers-1)
 	}
+	root := newRoot(inst, e.cm, opts.Workers)
 	q := newQueue(opts.QueueWidth)
-	for _, s := range e.startStates(inst) {
+	starts := e.warmStates(root)
+	if starts == nil {
+		starts = e.startStates(inst, root)
+	}
+	for _, s := range starts {
 		e.offer(q, s)
 		if s.level > e.stats.StartLevel {
 			e.stats.StartLevel = s.level
@@ -215,9 +248,45 @@ func (e *engine) offer(q *boundedQueue, s *State) {
 	}
 }
 
+// warmStates builds the incremental-mode start states: one state assigning
+// every non-nil warm function, and — when the tuple carries explicit value
+// mappings — a second state with those mapping attributes left undecided,
+// since mappings learned on a previous pair's alignment rarely transfer.
+// Returns nil (cold mode) when WarmStart is unset or carries no
+// assignments at all.
+func (e *engine) warmStates(root *State) []*State {
+	if e.opts.WarmStart == nil {
+		return nil
+	}
+	build := func(keepMappings bool) *State {
+		s := root
+		for a, f := range e.opts.WarmStart {
+			if f == nil {
+				continue
+			}
+			if _, isMap := f.(*metafunc.Mapping); isMap && !keepMappings {
+				continue
+			}
+			s = s.extend(a, f, e.cm)
+		}
+		return s
+	}
+	full := build(true)
+	if full.level == 0 {
+		return nil
+	}
+	noMaps := build(false)
+	if noMaps.key == full.key {
+		return []*State{full}
+	}
+	// noMaps degenerates to the root when every warm function is a mapping;
+	// seeding it anyway keeps an escape hatch from a stale all-mapping
+	// tuple (the run then behaves like H∅ with a warm incumbent).
+	return []*State{full, noMaps}
+}
+
 // startStates builds H₀ for the configured strategy (Section 4.2).
-func (e *engine) startStates(inst *delta.Instance) []*State {
-	root := newRoot(inst, e.cm)
+func (e *engine) startStates(inst *delta.Instance, root *State) []*State {
 	switch e.opts.Start {
 	case StartEmpty:
 		return []*State{root}

@@ -26,12 +26,14 @@ type State struct {
 	key    string
 }
 
-// newRoot returns the all-undecided state H∅ = (∗, …, ∗).
-func newRoot(inst *delta.Instance, cm delta.CostModel) *State {
+// newRoot returns the all-undecided state H∅ = (∗, …, ∗). workers > 1
+// additionally lets every blocking refinement in the search tree partition
+// huge blocks across that many goroutines (see blocking.Result.WithWorkers).
+func newRoot(inst *delta.Instance, cm delta.CostModel, workers int) *State {
 	s := &State{
 		inst:   inst,
 		funcs:  make([]metafunc.Func, inst.NumAttrs()),
-		blocks: blocking.New(inst),
+		blocks: blocking.New(inst).WithWorkers(workers),
 	}
 	s.cost = stateCost(s, cm)
 	s.key = stateKey(s.funcs)

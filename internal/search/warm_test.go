@@ -1,0 +1,141 @@
+package search_test
+
+import (
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
+	"affidavit/internal/gen"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/search"
+)
+
+// warmInstance builds a chain pair plus the warm tuple its predecessor pair
+// learned.
+func warmInstance(t *testing.T, permuteKeys bool) (*delta.Instance, delta.FuncTuple) {
+	t.Helper()
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := gen.MakeChain(tab, gen.ChainConfig{
+		Steps: 2, Eta: 0.1, Tau: 0.5, Seed: 17, PermuteKeys: permuteKeys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := delta.NewInstance(ch.Snapshots[0], ch.Snapshots[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	res, err := search.Run(prev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := delta.NewInstance(ch.Snapshots[1], ch.Snapshots[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, res.Explanation.Funcs
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	inst, _ := warmInstance(t, false)
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	opts.WarmStart = make([]metafunc.Func, inst.NumAttrs()+1)
+	if _, err := search.Run(inst, opts); err == nil {
+		t.Fatal("want error for wrong-length WarmStart")
+	}
+}
+
+// TestWarmStartAllNilFallsBackCold: a warm tuple with no assignments means
+// cold mode — identical results and stats.
+func TestWarmStartAllNilFallsBackCold(t *testing.T) {
+	inst, _ := warmInstance(t, false)
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	cold, err := search.Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.WarmStart = make([]metafunc.Func, inst.NumAttrs())
+	warm, err := search.Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, cold, warm)
+}
+
+// TestWarmStartDeterministic: warm runs reproduce exactly for equal seeds.
+func TestWarmStartDeterministic(t *testing.T) {
+	for _, permute := range []bool{false, true} {
+		inst, funcs := warmInstance(t, permute)
+		opts := search.DefaultOptions()
+		opts.Seed = 17
+		opts.WarmStart = funcs
+		a, err := search.Run(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := search.Run(inst, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, a, b)
+		if err := a.Explanation.Validate(); err != nil {
+			t.Fatalf("permute=%v: %v", permute, err)
+		}
+	}
+}
+
+// TestWarmStartParallelEquivalence: the worker-pool engine returns
+// byte-identical results for warm runs too — including the permuted-keys
+// case whose warm tuple carries a stale Mapping, exercising both warm
+// start states.
+func TestWarmStartParallelEquivalence(t *testing.T) {
+	for _, permute := range []bool{false, true} {
+		inst, funcs := warmInstance(t, permute)
+		seq := search.DefaultOptions()
+		seq.Seed = 17
+		seq.WarmStart = funcs
+		par := seq
+		par.Workers = 8
+		a, err := search.Run(inst, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := search.Run(inst, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, a, b)
+	}
+}
+
+// TestWarmStartPartialTuple: nil entries leave attributes undecided and the
+// search completes them.
+func TestWarmStartPartialTuple(t *testing.T) {
+	inst, funcs := warmInstance(t, false)
+	partial := make([]metafunc.Func, len(funcs))
+	partial[0] = funcs[0]
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	opts.WarmStart = partial
+	res, err := search.Run(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Explanation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StartLevel != 1 {
+		t.Errorf("start level %d, want 1 (one warm assignment)", res.Stats.StartLevel)
+	}
+}

@@ -1,0 +1,204 @@
+// Package session implements long-lived explanation sessions: a shared
+// dictionary pool that interns every snapshot of a chain (or every pair of
+// a batch) into one code space, plus warm-started incremental search that
+// seeds each run's queue with the previous run's explanation. Real
+// deployments diff the same table repeatedly — snapshot n against n+1, or
+// many tables from the same domain — and a session amortises both the
+// interning work (values seen once are never re-interned) and the search
+// work (a recurring transformation pattern is re-validated instead of
+// re-discovered) across the whole sequence.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/search"
+	"affidavit/internal/table"
+)
+
+// Pair is one source/target snapshot pair of a batch.
+type Pair struct {
+	Source, Target *table.Table
+}
+
+// Session is a long-lived explanation context. Sessions are safe for
+// concurrent use: the dictionary pool is concurrency-safe, chain operations
+// serialise on the session lock, and independent pair explanations run
+// concurrently. Because nothing in the pipeline depends on numeric code
+// order, ExplainPair/ExplainBatch results are identical to cold
+// single-pair runs with the same options and seed; the warm-started paths
+// (ExplainNext, ExplainWarm) additionally run the search in incremental
+// mode, which matches cold runs on recurring patterns but anchors on the
+// previous structure when the pattern changes (see search.Options.WarmStart).
+type Session struct {
+	pool  *table.DictPool
+	opts  search.Options
+	metas []metafunc.Meta
+
+	mu         sync.Mutex
+	current    *table.Table // chain head; nil until set
+	warm       delta.FuncTuple
+	warmSchema *table.Schema
+	runs       int
+}
+
+// New creates a session. initial, when non-nil, becomes the chain baseline
+// for ExplainNext; a nil initial starts a batch/service session whose chain
+// baseline is the first explained pair's target. A nil metas slice defaults
+// to metafunc.DefaultMetas().
+func New(initial *table.Table, opts search.Options, metas []metafunc.Meta) *Session {
+	if metas == nil {
+		metas = metafunc.DefaultMetas()
+	}
+	return &Session{pool: table.NewDictPool(), opts: opts, metas: metas, current: initial}
+}
+
+// Pool returns the session's shared dictionary pool.
+func (s *Session) Pool() *table.DictPool { return s.pool }
+
+// Current returns the chain head: the snapshot the next ExplainNext call
+// diffs against. Nil when no baseline was ever set.
+func (s *Session) Current() *table.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+// Runs returns how many explanations the session has produced.
+func (s *Session) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
+
+// instance builds a pooled instance for one pair.
+func (s *Session) instance(source, target *table.Table) (*delta.Instance, error) {
+	return delta.NewInstanceWithDicts(source, target, s.metas, s.pool.DictsFor(source.Schema()))
+}
+
+// run executes one search over the pooled instance, warm-seeded when warm
+// matches the pair's schema.
+func (s *Session) run(source, target *table.Table, warm delta.FuncTuple, warmSchema *table.Schema, workers int) (*search.Result, error) {
+	inst, err := s.instance(source, target)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Workers = workers
+	if warm != nil && warmSchema != nil && warmSchema.Equal(source.Schema()) {
+		opts.WarmStart = warm
+	}
+	return search.Run(inst, opts)
+}
+
+// ExplainNext explains the difference between the chain head and next, then
+// advances the chain: next becomes the head and the learned function tuple
+// becomes the warm start of the following call. Chain runs serialise on the
+// session; for a fixed seed the whole chain is deterministic.
+func (s *Session) ExplainNext(next *table.Table) (*search.Result, error) {
+	if next == nil {
+		return nil, fmt.Errorf("session: ExplainNext needs a snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current == nil {
+		return nil, fmt.Errorf("session: no chain baseline (create the session with an initial snapshot)")
+	}
+	res, err := s.run(s.current, next, s.warm, s.warmSchema, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.current = next
+	s.warm = res.Explanation.Funcs.Clone()
+	s.warmSchema = next.Schema()
+	s.runs++
+	return res, nil
+}
+
+// ExplainPair explains one pair over the shared dictionary pool without
+// touching the chain state. Safe to call concurrently; the result is
+// independent of whatever the pool already contains.
+func (s *Session) ExplainPair(source, target *table.Table) (*search.Result, error) {
+	res, err := s.run(source, target, nil, nil, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runs++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// ExplainWarm explains one pair over the shared pool, warm-seeded with the
+// most recent explanation of the same schema, and stores the learned tuple
+// for the next call. Unlike ExplainNext it does not require the pair to
+// extend the chain head, so a service can warm successive uploads of the
+// same table. Concurrent callers are race-clean but the stored tuple is
+// last-writer-wins, so interleaved warm runs may seed from either
+// predecessor; the explanation itself is unaffected (warm states only
+// reduce search effort for equal results on recurring patterns).
+func (s *Session) ExplainWarm(source, target *table.Table) (*search.Result, error) {
+	s.mu.Lock()
+	warm, warmSchema := s.warm, s.warmSchema
+	s.mu.Unlock()
+	res, err := s.run(source, target, warm, warmSchema, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.warm = res.Explanation.Funcs.Clone()
+	s.warmSchema = source.Schema()
+	s.current = target
+	s.runs++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// ExplainBatch explains every pair over one shared dictionary pool, fanning
+// out across at most workers goroutines (workers ≤ 1 runs sequentially).
+// Pairs may have different schemas; attributes sharing a name share a
+// dictionary. Results arrive in input order and are identical to
+// per-pair cold runs; when fanning out, each individual search runs on the
+// sequential engine so the batch owns the cores. Failed pairs leave nil
+// results; the joined error reports every failure.
+func (s *Session) ExplainBatch(pairs []Pair, workers int) ([]*search.Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	inner := s.opts.Workers
+	if workers > 1 {
+		inner = 1
+	}
+	results := make([]*search.Result, len(pairs))
+	errs := make([]error, len(pairs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p Pair) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			res, err := s.run(p.Source, p.Target, nil, nil, inner)
+			if err != nil {
+				errs[i] = fmt.Errorf("session: pair %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i, p)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	s.runs += len(pairs)
+	s.mu.Unlock()
+	return results, errors.Join(errs...)
+}

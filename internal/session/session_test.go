@@ -1,0 +1,342 @@
+package session_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
+	"affidavit/internal/gen"
+	"affidavit/internal/search"
+	"affidavit/internal/session"
+	"affidavit/internal/table"
+)
+
+// chain builds a snapshot chain over a registry dataset.
+func chain(t testing.TB, name string, steps int, permuteKeys bool) *gen.ChainProblem {
+	t.Helper()
+	ds, err := datasets.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := gen.MakeChain(tab, gen.ChainConfig{
+		Steps: steps, Eta: 0.1, Tau: 0.5, Seed: 31, PermuteKeys: permuteKeys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func opts31() search.Options {
+	o := search.DefaultOptions()
+	o.Seed = 31
+	return o
+}
+
+func assertSameExplanation(t *testing.T, label string, a, b *search.Result) {
+	t.Helper()
+	if a.Cost != b.Cost {
+		t.Errorf("%s: cost %v vs %v", label, a.Cost, b.Cost)
+	}
+	if ak, bk := a.Explanation.Funcs.Key(), b.Explanation.Funcs.Key(); ak != bk {
+		t.Errorf("%s: function tuples differ:\n  %s\n  %s", label, ak, bk)
+	}
+	if !equalInts(a.Explanation.CoreSrc, b.Explanation.CoreSrc) ||
+		!equalInts(a.Explanation.CoreTgt, b.Explanation.CoreTgt) {
+		t.Errorf("%s: core alignments differ", label)
+	}
+	if !equalInts(a.Explanation.Deleted, b.Explanation.Deleted) {
+		t.Errorf("%s: deletions differ", label)
+	}
+	if !equalInts(a.Explanation.Inserted, b.Explanation.Inserted) {
+		t.Errorf("%s: insertions differ", label)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWarmChainMatchesColdWithFewerPolls is the subsystem's core contract:
+// a warm-start chain run over ≥ 3 successive snapshots of a registry
+// dataset produces the same final explanation as independent cold runs
+// while polling strictly fewer search states on every warm step.
+func TestWarmChainMatchesColdWithFewerPolls(t *testing.T) {
+	for _, name := range []string{"iris", "bridges", "echo", "balance"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ch := chain(t, name, 3, false)
+			s := session.New(ch.Snapshots[0], opts31(), nil)
+			for i := 1; i < len(ch.Snapshots); i++ {
+				warm, err := s.ExplainNext(ch.Snapshots[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := warm.Explanation.Validate(); err != nil {
+					t.Fatalf("step %d: invalid warm explanation: %v", i, err)
+				}
+				inst, err := delta.NewInstance(ch.Snapshots[i-1], ch.Snapshots[i], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := search.Run(inst, opts31())
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameExplanation(t, fmt.Sprintf("step %d", i), warm, cold)
+				// The first step has no warm tuple yet and must equal the
+				// cold run's effort too; later steps must beat it strictly.
+				if i == 1 {
+					if warm.Stats.Polls != cold.Stats.Polls {
+						t.Errorf("step 1: warm polls %d, cold polls %d (no warm tuple yet, want equal)",
+							warm.Stats.Polls, cold.Stats.Polls)
+					}
+				} else if warm.Stats.Polls >= cold.Stats.Polls {
+					t.Errorf("step %d: warm polls %d not below cold polls %d",
+						i, warm.Stats.Polls, cold.Stats.Polls)
+				}
+			}
+		})
+	}
+}
+
+// TestChainDeterminism: replaying a chain with the same seed reproduces
+// every explanation and every statistic.
+func TestChainDeterminism(t *testing.T) {
+	ch := chain(t, "bridges", 3, true)
+	type step struct {
+		key   string
+		cost  float64
+		stats search.Stats
+	}
+	runChain := func() []step {
+		s := session.New(ch.Snapshots[0], opts31(), nil)
+		var out []step
+		for i := 1; i < len(ch.Snapshots); i++ {
+			res, err := s.ExplainNext(ch.Snapshots[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := res.Stats
+			st.Duration = 0
+			out = append(out, step{key: res.Explanation.Funcs.Key(), cost: res.Cost, stats: st})
+		}
+		return out
+	}
+	a, b := runChain(), runChain()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("step %d not reproducible:\n  %+v\n  %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestChainPermutedKeys: with per-snapshot key rewriting the warm tuple's
+// key mapping is stale, so the mapping-free warm state carries the run;
+// explanations stay valid and effort still drops.
+func TestChainPermutedKeys(t *testing.T) {
+	ch := chain(t, "balance", 3, true)
+	s := session.New(ch.Snapshots[0], opts31(), nil)
+	var polls []int
+	for i := 1; i < len(ch.Snapshots); i++ {
+		res, err := s.ExplainNext(ch.Snapshots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Explanation.Validate(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		polls = append(polls, res.Stats.Polls)
+	}
+	for i := 1; i < len(polls); i++ {
+		if polls[i] >= polls[0] {
+			t.Errorf("warm step %d polls %d not below cold-start step's %d",
+				i+1, polls[i], polls[0])
+		}
+	}
+}
+
+// TestPoolReuse: interning snapshot n+1 against the session pool re-interns
+// far less than a cold instance does, because unchanged values keep their
+// codes.
+func TestPoolReuse(t *testing.T) {
+	ch := chain(t, "bridges", 2, false)
+	s := session.New(ch.Snapshots[0], opts31(), nil)
+	if _, err := s.ExplainNext(ch.Snapshots[1]); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Pool().Values()
+	if before == 0 {
+		t.Fatal("pool empty after first run")
+	}
+	if _, err := s.ExplainNext(ch.Snapshots[2]); err != nil {
+		t.Fatal(err)
+	}
+	grown := s.Pool().Values() - before
+	coldInst, err := delta.NewInstance(ch.Snapshots[1], ch.Snapshots[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldValues := 0
+	for _, b := range coldInst.Coded().Base {
+		coldValues += int(b)
+	}
+	if grown >= coldValues/2 {
+		t.Errorf("pool grew by %d values on step 2; cold interning does %d — reuse too low",
+			grown, coldValues)
+	}
+}
+
+// TestExplainPairMatchesCold: pooled single-pair runs equal cold runs.
+func TestExplainPairMatchesCold(t *testing.T) {
+	ch := chain(t, "echo", 2, true)
+	s := session.New(nil, opts31(), nil)
+	for i := 1; i < len(ch.Snapshots); i++ {
+		pooled, err := s.ExplainPair(ch.Snapshots[i-1], ch.Snapshots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := delta.NewInstance(ch.Snapshots[i-1], ch.Snapshots[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := search.Run(inst, opts31())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameExplanation(t, fmt.Sprintf("pair %d", i), pooled, cold)
+		st := pooled.Stats
+		st.Duration = cold.Stats.Duration
+		if st != cold.Stats {
+			t.Errorf("pair %d: stats differ: %+v vs %+v", i, st, cold.Stats)
+		}
+	}
+}
+
+// TestExplainBatchConcurrent runs a mixed-schema batch on a shared pool
+// across many goroutines (the race detector covers the concurrent
+// interning) and checks results equal per-pair cold runs, in input order.
+func TestExplainBatchConcurrent(t *testing.T) {
+	var pairs []session.Pair
+	var want []*search.Result
+	for _, name := range []string{"iris", "bridges", "echo"} {
+		ch := chain(t, name, 2, true)
+		for i := 1; i < len(ch.Snapshots); i++ {
+			pairs = append(pairs, session.Pair{Source: ch.Snapshots[i-1], Target: ch.Snapshots[i]})
+			inst, err := delta.NewInstance(ch.Snapshots[i-1], ch.Snapshots[i], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := search.Run(inst, opts31())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, cold)
+		}
+	}
+	s := session.New(nil, opts31(), nil)
+	results, err := s.ExplainBatch(pairs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("got %d results, want %d", len(results), len(pairs))
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("pair %d: nil result", i)
+		}
+		assertSameExplanation(t, fmt.Sprintf("pair %d", i), res, want[i])
+	}
+	if s.Runs() != len(pairs) {
+		t.Errorf("session counted %d runs, want %d", s.Runs(), len(pairs))
+	}
+}
+
+// TestExplainBatchErrors: schema-mismatched pairs fail individually without
+// sinking the rest of the batch.
+func TestExplainBatchErrors(t *testing.T) {
+	ch := chain(t, "iris", 1, false)
+	other, _ := table.NewSchema("completely", "different")
+	odd, err := table.FromRows(other, []table.Record{{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := session.New(nil, opts31(), nil)
+	results, err := s.ExplainBatch([]session.Pair{
+		{Source: ch.Snapshots[0], Target: ch.Snapshots[1]},
+		{Source: ch.Snapshots[0], Target: odd},
+	}, 2)
+	if err == nil {
+		t.Fatal("want an error for the mismatched pair")
+	}
+	if results[0] == nil {
+		t.Error("healthy pair should still produce a result")
+	}
+	if results[1] != nil {
+		t.Error("mismatched pair should have a nil result")
+	}
+}
+
+// TestExplainNextNeedsBaseline: chain mode requires an initial snapshot.
+func TestExplainNextNeedsBaseline(t *testing.T) {
+	ch := chain(t, "iris", 1, false)
+	s := session.New(nil, opts31(), nil)
+	if _, err := s.ExplainNext(ch.Snapshots[0]); err == nil {
+		t.Fatal("want error without a baseline")
+	}
+	if _, err := s.ExplainWarm(ch.Snapshots[0], ch.Snapshots[1]); err != nil {
+		t.Fatalf("ExplainWarm should set the baseline: %v", err)
+	}
+	if s.Current() != ch.Snapshots[1] {
+		t.Error("ExplainWarm should advance the chain head")
+	}
+	if _, err := s.ExplainNext(ch.Snapshots[1]); err != nil {
+		t.Fatalf("ExplainNext after ExplainWarm: %v", err)
+	}
+}
+
+// TestConcurrentMixedUse hammers one session with concurrent pair, warm and
+// batch explanations — race-detector coverage for the shared pool and the
+// session state.
+func TestConcurrentMixedUse(t *testing.T) {
+	ch := chain(t, "iris", 2, false)
+	s := session.New(ch.Snapshots[0], opts31(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var err error
+			switch g % 3 {
+			case 0:
+				_, err = s.ExplainPair(ch.Snapshots[0], ch.Snapshots[1])
+			case 1:
+				_, err = s.ExplainWarm(ch.Snapshots[1], ch.Snapshots[2])
+			case 2:
+				_, err = s.ExplainBatch([]session.Pair{
+					{Source: ch.Snapshots[0], Target: ch.Snapshots[2]},
+				}, 2)
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

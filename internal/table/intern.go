@@ -80,3 +80,66 @@ func (t *Table) CodeColumn(a int, d *Dict) []int32 {
 	}
 	return col
 }
+
+// DictPool is a long-lived set of dictionaries keyed by attribute name, the
+// value-interning substrate of snapshot-chain sessions: when successive
+// snapshots (or many tables from the same domain) are interned against one
+// pool, every value already seen by an earlier run keeps its code and is
+// never re-interned — only genuinely novel values pay the interning cost.
+//
+// Pools are safe for concurrent use; the dictionaries they hand out are
+// append-only and shared, so results derived from pooled codes must not
+// depend on numeric code order (see Dict).
+type DictPool struct {
+	mu    sync.Mutex
+	dicts map[string]*Dict
+}
+
+// NewDictPool returns an empty pool.
+func NewDictPool() *DictPool {
+	return &DictPool{dicts: make(map[string]*Dict)}
+}
+
+// Dict returns the pool's dictionary for the named attribute, creating it
+// on first use.
+func (p *DictPool) Dict(attr string) *Dict {
+	p.mu.Lock()
+	d, ok := p.dicts[attr]
+	if !ok {
+		d = NewDict()
+		p.dicts[attr] = d
+	}
+	p.mu.Unlock()
+	return d
+}
+
+// DictsFor returns the pool's dictionaries for every attribute of s, in
+// schema order, creating missing ones. Two schemas sharing attribute names
+// receive the same dictionaries for those attributes.
+func (p *DictPool) DictsFor(s *Schema) []*Dict {
+	out := make([]*Dict, s.Len())
+	for a := range out {
+		out[a] = p.Dict(s.Attr(a))
+	}
+	return out
+}
+
+// Attrs returns the number of attribute dictionaries in the pool.
+func (p *DictPool) Attrs() int {
+	p.mu.Lock()
+	n := len(p.dicts)
+	p.mu.Unlock()
+	return n
+}
+
+// Values returns the total number of interned values across the pool, a
+// measure of how much interning work chain reuse has amortised.
+func (p *DictPool) Values() int {
+	p.mu.Lock()
+	sum := 0
+	for _, d := range p.dicts {
+		sum += d.Len()
+	}
+	p.mu.Unlock()
+	return sum
+}

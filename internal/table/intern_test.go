@@ -92,3 +92,45 @@ func TestCodeColumnSharedCodeSpace(t *testing.T) {
 		t.Error("per-attribute dict round trip failed")
 	}
 }
+
+func TestDictPoolSharing(t *testing.T) {
+	pool := table.NewDictPool()
+	s1 := table.MustSchema("a", "b")
+	s2 := table.MustSchema("b", "c")
+	d1 := pool.DictsFor(s1)
+	d2 := pool.DictsFor(s2)
+	if d1[1] != d2[0] {
+		t.Error("attribute \"b\" should share one dictionary across schemas")
+	}
+	if d1[0] == d2[1] {
+		t.Error("attributes \"a\" and \"c\" should not share a dictionary")
+	}
+	if pool.Attrs() != 3 {
+		t.Errorf("pool has %d attribute dicts, want 3", pool.Attrs())
+	}
+	c := d1[1].Code("x")
+	if got := pool.Dict("b").Code("x"); got != c {
+		t.Errorf("re-interning through the pool gave code %d, want %d", got, c)
+	}
+	if pool.Values() != 1 {
+		t.Errorf("pool holds %d values, want 1", pool.Values())
+	}
+}
+
+func TestDictPoolConcurrent(t *testing.T) {
+	pool := table.NewDictPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pool.Dict("attr").Code(fmt.Sprintf("v%d", i%50))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := pool.Dict("attr").Len(); got != 50 {
+		t.Errorf("dict has %d values, want 50", got)
+	}
+}

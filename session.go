@@ -1,0 +1,133 @@
+package affidavit
+
+import (
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/session"
+)
+
+// Pair is one source/target snapshot pair of a batch explanation.
+type Pair struct {
+	Source, Target *Table
+}
+
+// Session is a long-lived explanation context for snapshot chains and
+// batches. Where Explain treats every pair in isolation, a session keeps a
+// shared dictionary pool — values interned while explaining snapshot n keep
+// their codes when snapshot n+1 arrives, so only novel values pay interning
+// cost — and warm-starts each chain run with the previous explanation,
+// re-validated and re-costed against the new pair, so recurring
+// transformation patterns are confirmed in a handful of queue polls instead
+// of re-discovered from scratch.
+//
+// Sessions are safe for concurrent use. ExplainPair and ExplainBatch
+// results are identical to cold Explain runs with the same options and
+// seed — the shared pool only changes the interning work. The warm paths
+// (ExplainNext, ExplainWarm) run the search in incremental mode: on a
+// recurring pattern they converge to the same explanation with a fraction
+// of the effort, but they anchor on the previous structure, so when the
+// feed's pattern changes the result — always a valid explanation — may
+// differ from a cold run's. Use Explain (or ExplainPair) when cold-search
+// behaviour is required.
+type Session struct {
+	inner   *session.Session
+	alpha   float64
+	workers int
+}
+
+// NewSession creates a session. initial, when non-nil, is the chain
+// baseline: the first ExplainNext call diffs it against its argument. A nil
+// initial starts a batch/service session — ExplainPair, ExplainWarm and
+// ExplainBatch work immediately, while ExplainNext errors until a baseline
+// exists (ExplainWarm sets one).
+func NewSession(initial *Table, opts Options) *Session {
+	metas := metafunc.DefaultMetas()
+	metas = append(metas, opts.ExtraMetas...)
+	so := opts.toSearch()
+	return &Session{
+		inner:   session.New(initial, so, metas),
+		alpha:   so.Alpha,
+		workers: so.Workers,
+	}
+}
+
+// ExplainNext explains the difference between the chain head and next,
+// advances the chain head to next, and stores the learned functions as the
+// warm start of the following call. Chains are deterministic for fixed
+// seeds: re-running the same chain reproduces every explanation and every
+// search statistic.
+func (s *Session) ExplainNext(next *Table) (*Result, error) {
+	res, err := s.inner.ExplainNext(next)
+	if err != nil {
+		return nil, err
+	}
+	return s.result(res.Explanation, res.Cost, res.Stats), nil
+}
+
+// ExplainPair explains one pair over the session's shared dictionary pool
+// without touching the chain state. Safe to call concurrently.
+func (s *Session) ExplainPair(source, target *Table) (*Result, error) {
+	res, err := s.inner.ExplainPair(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return s.result(res.Explanation, res.Cost, res.Stats), nil
+}
+
+// ExplainWarm explains one pair over the shared pool, warm-started with the
+// session's most recent explanation of the same schema, and stores the
+// learned functions for the next call — the service-shaped variant of
+// ExplainNext for repeated uploads of the same table. Concurrent calls are
+// race-clean; the stored warm tuple is last-writer-wins, which affects only
+// search effort, never the explanation.
+func (s *Session) ExplainWarm(source, target *Table) (*Result, error) {
+	res, err := s.inner.ExplainWarm(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return s.result(res.Explanation, res.Cost, res.Stats), nil
+}
+
+// ExplainBatch explains every pair over the shared dictionary pool, fanning
+// out across the session's configured Workers (at most one goroutine per
+// pair; Workers ≤ 1 runs sequentially). Results arrive in input order and
+// equal per-pair cold runs. Failed pairs leave nil entries; the returned
+// error joins every failure.
+func (s *Session) ExplainBatch(pairs []Pair) ([]*Result, error) {
+	inner := make([]session.Pair, len(pairs))
+	for i, p := range pairs {
+		inner[i] = session.Pair{Source: p.Source, Target: p.Target}
+	}
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	raw, err := s.inner.ExplainBatch(inner, workers)
+	out := make([]*Result, len(raw))
+	for i, r := range raw {
+		if r != nil {
+			out[i] = s.result(r.Explanation, r.Cost, r.Stats)
+		}
+	}
+	return out, err
+}
+
+// PoolStats reports the shared dictionary pool's size: the number of
+// attribute dictionaries and the total interned values across them.
+func (s *Session) PoolStats() (attrs, values int) {
+	return s.inner.Pool().Attrs(), s.inner.Pool().Values()
+}
+
+// Runs returns how many explanations the session has produced.
+func (s *Session) Runs() int { return s.inner.Runs() }
+
+func (s *Session) result(expl *Explanation, cost float64, stats Stats) *Result {
+	cm := delta.CostModel{Alpha: s.alpha}
+	return &Result{
+		Explanation: expl,
+		Cost:        cost,
+		TrivialCost: cm.Cost(delta.Trivial(expl.Inst)),
+		Stats:       stats,
+		alpha:       s.alpha,
+	}
+}
