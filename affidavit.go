@@ -23,6 +23,7 @@
 package affidavit
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -100,8 +101,16 @@ type Options struct {
 	MaxExpansions int
 	// Workers bounds how many search probes run concurrently. 0 or 1 runs
 	// sequentially; for any fixed Seed the parallel and sequential engines
-	// return identical explanations.
+	// return identical explanations. Workers > 1 also shards the end-state
+	// conversion's multiset matching, with byte-identical output.
 	Workers int
+	// WarmGuard arms the warm-start quality guard used by session warm
+	// paths (ExplainNext/ExplainWarm): when the previous explanation,
+	// re-validated against the new pair, costs more than WarmGuard × the
+	// previous run's compression ratio, the run escalates to a cold search
+	// instead of anchoring on the stale structure (Stats.WarmEscalated
+	// reports it). 0 disables the guard.
+	WarmGuard float64
 	// ExtraMetas extends the built-in meta-function library with
 	// domain-specific families (see Meta).
 	ExtraMetas []Meta
@@ -155,6 +164,7 @@ func (o Options) toSearch() search.Options {
 	so.Seed = o.Seed
 	so.MaxExpansions = o.MaxExpansions
 	so.Workers = o.Workers
+	so.WarmGuard = o.WarmGuard
 	return so
 }
 
@@ -174,8 +184,19 @@ type Result struct {
 	alpha float64
 }
 
-// Explain runs Affidavit on two snapshots sharing a schema.
+// Explain runs Affidavit on two snapshots sharing a schema. It is
+// ExplainContext under context.Background().
 func Explain(source, target *Table, opts Options) (*Result, error) {
+	return ExplainContext(context.Background(), source, target, opts)
+}
+
+// ExplainContext is Explain under ctx: the search, its blocking
+// refinements and the end-state conversion all observe cancellation and
+// deadlines cooperatively. An interrupted run is not an error — it returns
+// the best explanation found so far (always valid) with Stats.Cancelled
+// set, so callers on a deadline keep the partial work and can distinguish
+// complete from interrupted results.
+func ExplainContext(ctx context.Context, source, target *Table, opts Options) (*Result, error) {
 	metas := metafunc.DefaultMetas()
 	metas = append(metas, opts.ExtraMetas...)
 	inst, err := delta.NewInstance(source, target, metas)
@@ -183,7 +204,7 @@ func Explain(source, target *Table, opts Options) (*Result, error) {
 		return nil, err
 	}
 	so := opts.toSearch()
-	res, err := search.Run(inst, so)
+	res, err := search.Run(ctx, inst, so)
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +221,11 @@ func Explain(source, target *Table, opts Options) (*Result, error) {
 // ExplainCSV reads two CSV files (header row = schema) and explains their
 // differences.
 func ExplainCSV(sourcePath, targetPath string, opts Options) (*Result, error) {
+	return ExplainCSVContext(context.Background(), sourcePath, targetPath, opts)
+}
+
+// ExplainCSVContext is ExplainCSV under ctx (see ExplainContext).
+func ExplainCSVContext(ctx context.Context, sourcePath, targetPath string, opts Options) (*Result, error) {
 	src, err := table.ReadCSVFile(sourcePath)
 	if err != nil {
 		return nil, fmt.Errorf("affidavit: reading source: %w", err)
@@ -208,7 +234,7 @@ func ExplainCSV(sourcePath, targetPath string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("affidavit: reading target: %w", err)
 	}
-	return Explain(src, tgt, opts)
+	return ExplainContext(ctx, src, tgt, opts)
 }
 
 // Report renders the explanation as a human-readable text report.

@@ -20,6 +20,7 @@
 package affidavit_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -50,7 +51,7 @@ func BenchmarkFigure1RunningExample(b *testing.B) {
 			opts.Seed = 1
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := search.Run(inst, opts)
+				res, err := search.Run(context.Background(), inst, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -98,7 +99,7 @@ func BenchmarkFigure4SearchTree(b *testing.B) {
 		tr := &search.TreeTracer{}
 		o := opts
 		o.Tracer = tr
-		if _, err := search.Run(inst, o); err != nil {
+		if _, err := search.Run(context.Background(), inst, o); err != nil {
 			b.Fatal(err)
 		}
 		if len(tr.Polls()) == 0 {
@@ -156,7 +157,7 @@ func BenchmarkTable2(b *testing.B) {
 				opts.Seed = 13
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := search.Run(p.Inst, opts); err != nil {
+					if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -206,7 +207,7 @@ func BenchmarkFigure5Rows(b *testing.B) {
 				opts.Workers = engine.workers
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := search.Run(p.Inst, opts); err != nil {
+					if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -235,7 +236,7 @@ func BenchmarkFigure6Attrs(b *testing.B) {
 			opts.Seed = 21
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -278,7 +279,7 @@ func BenchmarkChain(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := search.Run(inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -288,7 +289,7 @@ func BenchmarkChain(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sess := session.New(ch.Snapshots[0], opts, nil)
 			for s := 1; s < len(ch.Snapshots); s++ {
-				if _, err := sess.ExplainNext(ch.Snapshots[s]); err != nil {
+				if _, err := sess.ExplainNext(context.Background(), ch.Snapshots[s]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -328,6 +329,44 @@ func BenchmarkChainInterning(b *testing.B) {
 	})
 }
 
+// BenchmarkBuildSharded measures the end-state conversion in isolation:
+// delta.Build's greedy multiset matching, sequential versus key-sharded at
+// GOMAXPROCS workers, on the Figure 5 instance with its reference function
+// tuple. The sharded path is byte-identical to the sequential one (asserted
+// by TestBuildShardedMatchesSequential); this bench records the speedup of
+// parallelising the last single-threaded O(|S|+|T|) pass.
+func BenchmarkBuildSharded(b *testing.B) {
+	ds, err := datasets.Get("flight-500k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := ds.BuildRows(40000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	funcs := p.Reference.Funcs
+	p.Inst.Coded() // intern outside the timer; both paths share the view
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := delta.Build(p.Inst, funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("par%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		opts := delta.BuildOptions{Workers: runtime.GOMAXPROCS(0)}
+		for i := 0; i < b.N; i++ {
+			if _, err := delta.BuildCtx(context.Background(), p.Inst, funcs, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ablationProblem is a mid-sized instance shared by the ablation benches.
 func ablationProblem(b *testing.B) *gen.Problem {
 	b.Helper()
@@ -354,7 +393,7 @@ func BenchmarkAblationQueueWidth(b *testing.B) {
 			opts.QueueWidth = rho
 			opts.Seed = 5
 			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -370,7 +409,7 @@ func BenchmarkAblationBranching(b *testing.B) {
 			opts.Beta = beta
 			opts.Seed = 5
 			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -386,7 +425,7 @@ func BenchmarkAblationStart(b *testing.B) {
 			opts.Start = start
 			opts.Seed = 5
 			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -402,7 +441,7 @@ func BenchmarkAblationTheta(b *testing.B) {
 			opts.Induce.Theta = theta
 			opts.Seed = 5
 			for i := 0; i < b.N; i++ {
-				if _, err := search.Run(p.Inst, opts); err != nil {
+				if _, err := search.Run(context.Background(), p.Inst, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"affidavit"
 )
@@ -71,9 +74,18 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 
-	res, err := affidavit.ExplainCSV(*source, *target, opts)
+	// Ctrl-C cancels the search cooperatively: the run stops within about
+	// one poll instead of dying mid-write, and we exit non-zero below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := affidavit.ExplainCSVContext(ctx, *source, *target, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavit:", err)
+		os.Exit(1)
+	}
+	if res.Stats.Cancelled {
+		fmt.Fprintln(os.Stderr, "affidavit: cancelled (interrupt received); partial result discarded")
 		os.Exit(1)
 	}
 	fmt.Print(res.Report())

@@ -16,8 +16,18 @@
 //	                key, default "table"), "format" (json | sql | text),
 //	                "warm" ("1" = chain mode: warm-start from the table's
 //	                previous explanation and store the new one)
-//	GET  /stats     per-table session counters
+//	GET  /stats     per-table session counters + eviction totals
 //	GET  /healthz   liveness probe
+//
+// Operating knobs:
+//
+//	-timeout       per-request explanation budget; on expiry the request
+//	               answers 503 with the partial search statistics
+//	-max-sessions  LRU cap on retained per-table sessions
+//	-session-ttl   idle sessions are evicted past this age
+//
+// SIGINT/SIGTERM cancel in-flight explanations cooperatively and shut the
+// listener down gracefully.
 //
 // Example:
 //
@@ -26,12 +36,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"affidavit"
 )
@@ -48,8 +64,12 @@ func main() {
 		maxBlock    = flag.Int("max-block", 100000, "overlap-matching block threshold (hs)")
 		seed        = flag.Int64("seed", 0, "random seed (equal seeds give equal explanations)")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes per request (1 = sequential engine)")
+		warmGuard   = flag.Float64("warm-guard", 0, "warm-start quality guard factor (0 = disabled; e.g. 3 escalates to a cold search when the warm seed costs 3× the previous compression ratio)")
 		maxUpload   = flag.Int64("max-upload", 64, "largest accepted upload in MiB")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent /explain requests (0 = unlimited)")
+		timeout     = flag.Duration("timeout", 0, "per-request explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
+		maxSessions = flag.Int("max-sessions", 0, "retained per-table sessions (0 = unlimited; excess evicts least-recently-used)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "idle session lifetime (0 = sessions never expire)")
 	)
 	flag.Parse()
 
@@ -78,11 +98,48 @@ func main() {
 	opts.MaxBlockSize = *maxBlock
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.WarmGuard = *warmGuard
 
-	srv := newServer(opts, *maxUpload<<20, *maxInflight)
-	fmt.Fprintf(os.Stderr, "affidavitd: listening on %s (workers=%d)\n", *addr, *workers)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "affidavitd:", err)
-		os.Exit(1)
+	// SIGINT/SIGTERM cancel this context; every request context derives
+	// from it (BaseContext), so in-flight searches stop cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := newServer(serverConfig{
+		opts:        opts,
+		maxUpload:   *maxUpload << 20,
+		maxInflight: *maxInflight,
+		timeout:     *timeout,
+		maxSessions: *maxSessions,
+		sessionTTL:  *sessionTTL,
+	})
+	if *sessionTTL > 0 {
+		go srv.janitor(ctx)
+	}
+
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "affidavitd: listening on %s (workers=%d timeout=%v max-sessions=%d session-ttl=%v)\n",
+		*addr, *workers, *timeout, *maxSessions, *sessionTTL)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "affidavitd: interrupt received, shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "affidavitd: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "affidavitd:", err)
+			os.Exit(1)
+		}
 	}
 }

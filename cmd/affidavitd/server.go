@@ -1,58 +1,153 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"affidavit"
 	"affidavit/internal/delta"
 	"affidavit/internal/report"
 )
 
+// serverConfig bundles the service knobs so tests and main construct the
+// server the same way.
+type serverConfig struct {
+	opts        affidavit.Options
+	maxUpload   int64
+	maxInflight int
+	// timeout bounds each /explain request's explanation work; 0 means
+	// unlimited. On expiry the request answers 503 with the partial search
+	// statistics.
+	timeout time.Duration
+	// maxSessions caps the retained per-table sessions; 0 means unlimited.
+	// Creating a session past the cap evicts the least-recently-used one.
+	maxSessions int
+	// sessionTTL expires sessions idle longer than this; 0 means sessions
+	// never expire. Eviction frees the table's dictionary pool and warm
+	// state; the next upload for that table simply starts a fresh session.
+	sessionTTL time.Duration
+	// now is the clock; nil means time.Now. Tests inject a fake.
+	now func() time.Time
+}
+
 // server routes explanation traffic onto per-table affidavit sessions: all
 // uploads naming the same table share one dictionary pool (and, in chain
 // mode, one warm-start tuple), so recurring traffic over the same domain
-// gets cheaper as the service runs.
+// gets cheaper as the service runs. Sessions are bounded two ways — an LRU
+// cap on their count and a TTL on their idleness — so an unbounded stream
+// of distinct table names can no longer grow the dictionary pools forever.
 type server struct {
-	opts        affidavit.Options
+	cfg         serverConfig
 	alpha       float64
-	maxUpload   int64
 	maxInflight chan struct{} // nil = unlimited
 
 	mu       sync.Mutex
-	sessions map[string]*affidavit.Session
+	sessions map[string]*sessionEntry
+	evicted  int // sessions dropped by TTL or LRU, for /stats
 }
 
-func newServer(opts affidavit.Options, maxUpload int64, maxInflight int) *server {
-	alpha := opts.Alpha
+// sessionEntry is one table's session plus the bookkeeping eviction needs.
+type sessionEntry struct {
+	sess    *affidavit.Session
+	lastUse time.Time
+}
+
+func newServer(cfg serverConfig) *server {
+	alpha := cfg.opts.Alpha
 	if alpha == 0 {
 		alpha = affidavit.DefaultOptions().Alpha
 	}
-	s := &server{
-		opts:      opts,
-		alpha:     alpha,
-		maxUpload: maxUpload,
-		sessions:  make(map[string]*affidavit.Session),
+	if cfg.now == nil {
+		cfg.now = time.Now
 	}
-	if maxInflight > 0 {
-		s.maxInflight = make(chan struct{}, maxInflight)
+	s := &server{
+		cfg:      cfg,
+		alpha:    alpha,
+		sessions: make(map[string]*sessionEntry),
+	}
+	if cfg.maxInflight > 0 {
+		s.maxInflight = make(chan struct{}, cfg.maxInflight)
 	}
 	return s
 }
 
-// session returns the named table's session, creating it on first use.
+// session returns the named table's session, creating it on first use and
+// refreshing its last-use stamp. When the LRU cap is hit, the
+// least-recently-used session is dropped to make room (ties break on the
+// smaller table name, for determinism).
 func (s *server) session(table string) *affidavit.Session {
+	now := s.cfg.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[table]
-	if !ok {
-		sess = affidavit.NewSession(nil, s.opts)
-		s.sessions[table] = sess
+	if e, ok := s.sessions[table]; ok {
+		e.lastUse = now
+		return e.sess
 	}
-	return sess
+	if s.cfg.maxSessions > 0 {
+		for len(s.sessions) >= s.cfg.maxSessions {
+			var victim string
+			for name, e := range s.sessions {
+				if victim == "" ||
+					e.lastUse.Before(s.sessions[victim].lastUse) ||
+					(e.lastUse.Equal(s.sessions[victim].lastUse) && name < victim) {
+					victim = name
+				}
+			}
+			delete(s.sessions, victim)
+			s.evicted++
+		}
+	}
+	e := &sessionEntry{sess: affidavit.NewSession(nil, s.cfg.opts), lastUse: now}
+	s.sessions[table] = e
+	return e.sess
+}
+
+// evictExpired drops every session idle since before now−TTL and reports
+// how many it removed. No-op when the TTL is unset.
+func (s *server) evictExpired(now time.Time) int {
+	if s.cfg.sessionTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.sessionTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name, e := range s.sessions {
+		if e.lastUse.Before(cutoff) {
+			delete(s.sessions, name)
+			n++
+		}
+	}
+	s.evicted += n
+	return n
+}
+
+// janitor runs evictExpired periodically until ctx ends. The sweep period
+// is a quarter of the TTL, clamped to [1s, 1m], so an expired session
+// lingers at most ~25% past its deadline.
+func (s *server) janitor(ctx context.Context) {
+	every := s.cfg.sessionTTL / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	if every > time.Minute {
+		every = time.Minute
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.evictExpired(now)
+		}
+	}
 }
 
 func (s *server) handler() http.Handler {
@@ -70,11 +165,23 @@ func (s *server) handler() http.Handler {
 // is deliberately omitted so identical inputs produce byte-identical
 // responses.
 type explainStats struct {
-	Polls           int `json:"polls"`
-	StatesGenerated int `json:"states_generated"`
-	Enqueued        int `json:"enqueued"`
-	Evicted         int `json:"evicted"`
-	StartLevel      int `json:"start_level"`
+	Polls           int  `json:"polls"`
+	StatesGenerated int  `json:"states_generated"`
+	Enqueued        int  `json:"enqueued"`
+	Evicted         int  `json:"evicted"`
+	StartLevel      int  `json:"start_level"`
+	WarmEscalated   bool `json:"warm_escalated,omitempty"`
+}
+
+func toExplainStats(st affidavit.Stats) explainStats {
+	return explainStats{
+		Polls:           st.Polls,
+		StatesGenerated: st.StatesGenerated,
+		Enqueued:        st.Enqueued,
+		Evicted:         st.Evicted,
+		StartLevel:      st.StartLevel,
+		WarmEscalated:   st.WarmEscalated,
+	}
 }
 
 type explainResponse struct {
@@ -87,6 +194,14 @@ type explainResponse struct {
 	Stats       explainStats           `json:"stats"`
 }
 
+// deadlineResponse is the 503 body: the request ran out of budget, and
+// these are the statistics of the work done before the cut.
+type deadlineResponse struct {
+	Error string       `json:"error"`
+	Table string       `json:"table"`
+	Stats explainStats `json:"stats"`
+}
+
 // handleExplain serves POST /explain: a multipart upload with CSV files
 // "source" and "target" (first row = header). Optional form/query values:
 //
@@ -94,17 +209,36 @@ type explainResponse struct {
 //	format  json (default) | sql | text
 //	warm    "1" warm-starts from the table's previous explanation and
 //	        stores the new one (chain mode)
+//
+// The explanation runs under the request's context, additionally bounded
+// by the -timeout flag; on expiry the request answers 503 Service
+// Unavailable with the partial search statistics, and the session discards
+// the interrupted run's warm state.
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.maxInflight != nil {
-		s.maxInflight <- struct{}{}
-		defer func() { <-s.maxInflight }()
+	ctx := r.Context()
+	if s.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+		defer cancel()
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxUpload)
-	if err := r.ParseMultipartForm(s.maxUpload); err != nil {
+	if s.maxInflight != nil {
+		// Wait for a slot under the request context: a client that
+		// disconnects (or times out) while queued must not consume a slot
+		// and pay the upload parse for an answer nobody reads.
+		select {
+		case s.maxInflight <- struct{}{}:
+			defer func() { <-s.maxInflight }()
+		case <-ctx.Done():
+			http.Error(w, "request expired while queued for a slot", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxUpload)
+	if err := r.ParseMultipartForm(s.cfg.maxUpload); err != nil {
 		http.Error(w, fmt.Sprintf("parsing upload: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -134,12 +268,24 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(table)
 	var res *affidavit.Result
 	if r.FormValue("warm") == "1" {
-		res, err = sess.ExplainWarm(src, tgt)
+		res, err = sess.ExplainWarmContext(ctx, src, tgt)
 	} else {
-		res, err = sess.ExplainPair(src, tgt)
+		res, err = sess.ExplainPairContext(ctx, src, tgt)
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if res.Stats.Cancelled {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(deadlineResponse{
+			Error: "deadline exceeded before the explanation finished",
+			Table: table,
+			Stats: toExplainStats(res.Stats),
+		})
 		return
 	}
 
@@ -158,13 +304,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			Cost:        res.Cost,
 			TrivialCost: res.TrivialCost,
 			Compression: compression,
-			Stats: explainStats{
-				Polls:           res.Stats.Polls,
-				StatesGenerated: res.Stats.StatesGenerated,
-				Enqueued:        res.Stats.Enqueued,
-				Evicted:         res.Stats.Evicted,
-				StartLevel:      res.Stats.StartLevel,
-			},
+			Stats:       toExplainStats(res.Stats),
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -189,7 +329,13 @@ type tableStats struct {
 	PoolValues int `json:"pool_values"`
 }
 
-// handleStats serves GET /stats: per-table session counters.
+type statsResponse struct {
+	Tables          map[string]tableStats `json:"tables"`
+	SessionsEvicted int                   `json:"sessions_evicted"`
+}
+
+// handleStats serves GET /stats: per-table session counters plus the
+// lifetime eviction count.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sessions))
@@ -199,15 +345,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(names)
 	out := make(map[string]tableStats, len(names))
 	for _, name := range names {
-		sess := s.sessions[name]
+		sess := s.sessions[name].sess
 		attrs, values := sess.PoolStats()
 		out[name] = tableStats{Runs: sess.Runs(), PoolAttrs: attrs, PoolValues: values}
 	}
+	evicted := s.evicted
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]map[string]tableStats{"tables": out}); err != nil {
+	if err := enc.Encode(statsResponse{Tables: out, SessionsEvicted: evicted}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"affidavit"
 	"affidavit/internal/datasets"
@@ -21,7 +22,7 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	opts := affidavit.DefaultOptions()
 	opts.Seed = 31
-	srv := httptest.NewServer(newServer(opts, 16<<20, 0).handler())
+	srv := httptest.NewServer(newServer(serverConfig{opts: opts, maxUpload: 16 << 20}).handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -273,5 +274,144 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// TestExplainDeadline503: a request whose explanation budget is already
+// exhausted answers 503 Service Unavailable with the partial (here: empty)
+// search statistics instead of hanging or 500ing.
+func TestExplainDeadline503(t *testing.T) {
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 31
+	srv := httptest.NewServer(newServer(serverConfig{
+		opts:      opts,
+		maxUpload: 16 << 20,
+		timeout:   time.Nanosecond,
+	}).handler())
+	t.Cleanup(srv.Close)
+
+	ch := testChain(t, 1)
+	code, body := post(t, srv, csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1]),
+		map[string]string{"table": "slow"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, body)
+	}
+	var resp deadlineResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad 503 JSON: %v: %s", err, body)
+	}
+	if resp.Error == "" || resp.Table != "slow" {
+		t.Errorf("503 body: %+v", resp)
+	}
+}
+
+// fakeClock hands out strictly increasing timestamps so eviction order is
+// deterministic in tests.
+type fakeClock struct {
+	mu sync.Mutex
+	at time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at = c.at.Add(time.Second)
+	return c.at
+}
+
+// TestSessionTTLEviction: sessions idle past the TTL are dropped; touching
+// a session refreshes its clock.
+func TestSessionTTLEviction(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(1000, 0)}
+	s := newServer(serverConfig{
+		opts:       affidavit.DefaultOptions(),
+		maxUpload:  16 << 20,
+		sessionTTL: time.Minute,
+		now:        clk.now,
+	})
+	s.session("a")
+	s.session("b")
+	s.session("a") // refresh a
+	if n := s.evictExpired(clk.now().Add(30 * time.Second)); n != 0 {
+		t.Fatalf("evicted %d sessions before the TTL", n)
+	}
+	// Age everything past the TTL, then refresh only "a".
+	s.session("a")
+	if n := s.evictExpired(clk.now().Add(59 * time.Second)); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1 (only the idle one)", n)
+	}
+	s.mu.Lock()
+	_, aAlive := s.sessions["a"]
+	_, bAlive := s.sessions["b"]
+	s.mu.Unlock()
+	if !aAlive || bAlive {
+		t.Fatalf("a alive=%v b alive=%v, want a kept and b evicted", aAlive, bAlive)
+	}
+	if n := s.evictExpired(clk.now().Add(2 * time.Minute)); n != 1 {
+		t.Fatalf("evicted %d sessions, want the last one", n)
+	}
+}
+
+// TestSessionLRUCap: the -max-sessions cap evicts the least-recently-used
+// session when a new table arrives.
+func TestSessionLRUCap(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(2000, 0)}
+	s := newServer(serverConfig{
+		opts:        affidavit.DefaultOptions(),
+		maxUpload:   16 << 20,
+		maxSessions: 2,
+		now:         clk.now,
+	})
+	s.session("a")
+	s.session("b")
+	s.session("a") // a is now more recently used than b
+	s.session("c") // must evict b
+	s.mu.Lock()
+	_, aAlive := s.sessions["a"]
+	_, bAlive := s.sessions["b"]
+	_, cAlive := s.sessions["c"]
+	n, evicted := len(s.sessions), s.evicted
+	s.mu.Unlock()
+	if !aAlive || bAlive || !cAlive || n != 2 || evicted != 1 {
+		t.Fatalf("a=%v b=%v c=%v len=%d evicted=%d, want a,c kept with b evicted",
+			aAlive, bAlive, cAlive, n, evicted)
+	}
+	// An evicted table simply gets a fresh session on its next upload.
+	s.session("b")
+	s.mu.Lock()
+	n = len(s.sessions)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("len=%d after re-creating b, want cap 2", n)
+	}
+}
+
+// TestStatsReportsEvictions: /stats carries the lifetime eviction counter.
+func TestStatsReportsEvictions(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(3000, 0)}
+	s := newServer(serverConfig{
+		opts:        affidavit.DefaultOptions(),
+		maxUpload:   16 << 20,
+		maxSessions: 1,
+		now:         clk.now,
+	})
+	s.session("a")
+	s.session("b")
+	srv := httptest.NewServer(s.handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SessionsEvicted != 1 {
+		t.Errorf("sessions_evicted %d, want 1", stats.SessionsEvicted)
+	}
+	if _, ok := stats.Tables["b"]; !ok || len(stats.Tables) != 1 {
+		t.Errorf("tables %v, want only b", stats.Tables)
 	}
 }

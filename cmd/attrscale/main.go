@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"affidavit/internal/eval"
 	"affidavit/internal/search"
@@ -27,9 +30,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the sweep cooperatively between (and within) runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := search.DefaultOptions()
 	opts.Workers = *workers
-	points, err := eval.Figure6(eval.Figure6Spec{
+	points, err := eval.Figure6(ctx, eval.Figure6Spec{
 		Rows: map[string]int{"fd-red-30": *fdRows},
 		Seed: *seed,
 		Opts: opts,
@@ -39,7 +46,11 @@ func main() {
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "attrscale:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "attrscale: cancelled (interrupt received) after %d point(s)\n", len(points))
+		} else {
+			fmt.Fprintln(os.Stderr, "attrscale:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Println()

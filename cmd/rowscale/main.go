@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"affidavit/internal/eval"
 	"affidavit/internal/search"
@@ -39,9 +42,13 @@ func main() {
 		}
 		fs = append(fs, f)
 	}
+	// Ctrl-C cancels the sweep cooperatively between (and within) runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := search.DefaultOptions()
 	opts.Workers = *workers
-	points, err := eval.Figure5(eval.Figure5Spec{
+	points, err := eval.Figure5(ctx, eval.Figure5Spec{
 		BaseRows: *baseRows,
 		Factors:  fs,
 		Seed:     *seed,
@@ -52,7 +59,11 @@ func main() {
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rowscale:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "rowscale: cancelled (interrupt received) after %d point(s)\n", len(points))
+		} else {
+			fmt.Fprintln(os.Stderr, "rowscale:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Println()

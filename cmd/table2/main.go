@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"affidavit/internal/datasets"
 	"affidavit/internal/eval"
@@ -54,9 +57,15 @@ func main() {
 			}
 		}
 	}
-	cells, err := eval.Table2(spec)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cells, err := eval.Table2(ctx, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "table2:", err)
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "table2: cancelled (interrupt received) after %d cell(s)\n", len(cells))
+		} else {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Println()

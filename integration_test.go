@@ -1,6 +1,7 @@
 package affidavit_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -34,7 +35,7 @@ func TestPipelineGeneratedInstances(t *testing.T) {
 		}
 		opts := search.DefaultOptions()
 		opts.Seed = 31
-		res, err := search.Run(p.Inst, opts)
+		res, err := search.Run(context.Background(), p.Inst, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

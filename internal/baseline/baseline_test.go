@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"context"
 	"testing"
 
 	"affidavit/internal/baseline"
@@ -135,7 +136,7 @@ func TestKeyedDiffAsExplanation(t *testing.T) {
 		t.Fatalf("keyed explanation core = %d, want 3", e.CoreSize())
 	}
 	keyedCost := delta.DefaultCosts.Cost(e)
-	res, err := search.Run(inst, withSeed(search.DefaultOptions(), 1))
+	res, err := search.Run(context.Background(), inst, withSeed(search.DefaultOptions(), 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestExhaustiveCertifiesSearchOnI1Subset(t *testing.T) {
 	if err := optimal.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Run(inst, withSeed(search.DefaultOptions(), 4))
+	res, err := search.Run(context.Background(), inst, withSeed(search.DefaultOptions(), 4))
 	if err != nil {
 		t.Fatal(err)
 	}

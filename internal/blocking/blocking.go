@@ -14,6 +14,7 @@
 package blocking
 
 import (
+	"context"
 	"sync"
 
 	"affidavit/internal/delta"
@@ -111,7 +112,8 @@ type Result struct {
 	blocks     []*Block
 	srcBlockOf []int32
 	tgtBlockOf []int32
-	workers    int // ≤ 1 = fully sequential refinement
+	workers    int             // ≤ 1 = fully sequential refinement
+	ctx        context.Context // nil = never cancelled
 }
 
 // New returns the blocking result of the all-undecided state: a single
@@ -150,6 +152,22 @@ func (r *Result) WithWorkers(n int) *Result {
 	return &nr
 }
 
+// WithContext returns a result whose refinements — and those of every
+// result derived from it — observe ctx: Refine called after ctx is
+// cancelled returns the receiver unchanged instead of splitting blocks, so
+// a cancelled search never pays for another O(|S|+|T|) grouping pass.
+// Callers above the search layer discard states refined under a cancelled
+// context, so the stale blocking is never acted on. A nil ctx returns the
+// receiver unchanged.
+func (r *Result) WithContext(ctx context.Context) *Result {
+	if ctx == nil {
+		return r
+	}
+	nr := *r
+	nr.ctx = ctx
+	return &nr
+}
+
 // parallelBlockMin is the record count at which Refine partitions one
 // block's grouping across goroutines. Below it the per-chunk bookkeeping
 // outweighs the hash work; above it one huge block (the common shape early
@@ -164,6 +182,12 @@ const parallelBlockMin = 1 << 14
 // blocks are ordered deterministically (parent-block order, then first
 // appearance in record order) regardless of WithWorkers.
 func (r *Result) Refine(attr int, f metafunc.Func) *Result {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		// Cancelled: skip the grouping pass entirely. The receiver is a
+		// valid (coarser) result; the search layer is about to abandon any
+		// state built from it.
+		return r
+	}
 	nSrc, nTgt := len(r.srcBlockOf), len(r.tgtBlockOf)
 
 	// Pass 1: group every record by (parent block, split code), recording
@@ -225,6 +249,7 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 		srcBlockOf: g.srcBlockOf,
 		tgtBlockOf: g.tgtBlockOf,
 		workers:    r.workers,
+		ctx:        r.ctx,
 	}
 }
 

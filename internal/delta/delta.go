@@ -5,6 +5,7 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -189,6 +190,17 @@ type Explanation struct {
 	Inserted []int // T^{E+}
 }
 
+// BuildOptions configures BuildCtx.
+type BuildOptions struct {
+	// Workers shards the multiset matching (and the per-attribute memo
+	// construction) across up to this many goroutines. ≤ 1 runs the
+	// sequential matcher. For any value the resulting explanation is
+	// byte-identical to the sequential one — sharding partitions the
+	// matching by key, which the greedy procedure resolves independently
+	// per key anyway.
+	Workers int
+}
+
 // Build constructs a valid explanation from an attribute-function tuple by
 // the procedure of Proposition 3.6: a source record joins the core when its
 // image under the tuple equals a not-yet-claimed target record; ties are
@@ -196,24 +208,59 @@ type Explanation struct {
 //
 // Matching runs on the interned columnar view: records are compared as
 // packed code tuples, and each function is applied at most once per distinct
-// source value of its attribute.
+// source value of its attribute. Build is BuildCtx without cancellation and
+// without sharding.
 func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
+	return BuildCtx(context.Background(), inst, funcs, BuildOptions{})
+}
+
+// BuildCtx is Build with cooperative cancellation and optional sharding.
+// The conversion checks ctx between coarse phases and periodically inside
+// every record scan; once cancelled it returns ctx's error. With
+// opts.Workers > 1 the multiset matching is partitioned by a hash of each
+// record's (image) code tuple, so each shard replays the sequential greedy
+// order on its own keys and the merged result is byte-identical to the
+// sequential path.
+func BuildCtx(ctx context.Context, inst *Instance, funcs FuncTuple, opts BuildOptions) (*Explanation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(funcs) != inst.NumAttrs() {
 		return nil, fmt.Errorf("delta: tuple has %d functions, schema has %d attributes",
 			len(funcs), inst.NumAttrs())
 	}
 	co := inst.Coded()
-	d := inst.NumAttrs()
-	// Per-attribute memo over the raw code space: memos[a][c] is the code of
-	// funcs[a] applied to value c, or -1 when the output is no snapshot value
-	// (such an image can never match a target record). Only codes present in
-	// this pair are filled — the rest are never read — so pooled
-	// dictionaries holding other runs' values cost nothing here. Identity
-	// attributes skip the memo entirely.
+	memos, err := buildMemos(ctx, co, funcs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var matchOf []int32
+	if opts.Workers > 1 {
+		matchOf, err = matchSharded(ctx, inst, co, memos, opts.Workers)
+	} else {
+		matchOf, err = matchSequential(ctx, inst, co, memos)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &Explanation{Inst: inst, Funcs: funcs.Clone()}
+	assemble(e, matchOf, inst.Target.Len())
+	return e, nil
+}
+
+// buildMemos computes the per-attribute apply memos over the raw code
+// space: memos[a][c] is the code of funcs[a] applied to value c, or -1 when
+// the output is no snapshot value (such an image can never match a target
+// record). Only codes present in this pair are filled — the rest are never
+// read — so pooled dictionaries holding other runs' values cost nothing
+// here. Identity attributes skip the memo entirely. Attributes are
+// independent, so workers > 1 fans them out.
+func buildMemos(ctx context.Context, co *Coded, funcs FuncTuple, workers int) ([][]int32, error) {
+	d := len(funcs)
 	memos := make([][]int32, d)
-	for a := 0; a < d; a++ {
+	build := func(a int) {
 		if metafunc.IsIdentity(funcs[a]) {
-			continue
+			return
 		}
 		dict := co.Dicts[a]
 		m := make([]int32, co.Base[a])
@@ -226,53 +273,121 @@ func Build(inst *Instance, funcs FuncTuple) (*Explanation, error) {
 		}
 		memos[a] = m
 	}
-	pack := func(buf []byte, codes func(a int) int32) (string, bool) {
+	if workers > 1 && d > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
 		for a := 0; a < d; a++ {
-			c := codes(a)
-			if c < 0 {
-				return "", false
-			}
-			buf[4*a] = byte(c)
-			buf[4*a+1] = byte(c >> 8)
-			buf[4*a+2] = byte(c >> 16)
-			buf[4*a+3] = byte(c >> 24)
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(a int) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				if ctx.Err() == nil {
+					build(a)
+				}
+			}(a)
 		}
-		return string(buf), true
+		wg.Wait()
+	} else {
+		for a := 0; a < d; a++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			build(a)
+		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return memos, nil
+}
+
+// packKey writes d little-endian int32 codes into buf and returns them as a
+// string key; false when any code is negative (an image outside the
+// snapshot value set, which can never match).
+func packKey(buf []byte, d int, code func(a int) int32) (string, bool) {
+	for a := 0; a < d; a++ {
+		c := code(a)
+		if c < 0 {
+			return "", false
+		}
+		buf[4*a] = byte(c)
+		buf[4*a+1] = byte(c >> 8)
+		buf[4*a+2] = byte(c >> 16)
+		buf[4*a+3] = byte(c >> 24)
+	}
+	return string(buf), true
+}
+
+// imageCode returns source record s's image code of attribute a under the
+// memo table (raw code when the attribute is identity).
+func imageCode(co *Coded, memos [][]int32, a int, s int) int32 {
+	c := co.Src[a][s]
+	if memos[a] == nil {
+		return c
+	}
+	return memos[a][c]
+}
+
+// buildCancelMask is how many records each matching loop scans between
+// context checks.
+const buildCancelMask = 8192 - 1
+
+// matchSequential runs the single-threaded greedy multiset matching:
+// matchOf[s] is the target record claimed by source s, or −1 when s is
+// deleted.
+func matchSequential(ctx context.Context, inst *Instance, co *Coded, memos [][]int32) ([]int32, error) {
+	d := inst.NumAttrs()
 	buf := make([]byte, 4*d)
 	// Multiset index of unclaimed target records.
-	free := make(map[string][]int, inst.Target.Len())
+	free := make(map[string][]int32, inst.Target.Len())
 	for t := 0; t < inst.Target.Len(); t++ {
-		k, _ := pack(buf, func(a int) int32 { return co.Tgt[a][t] })
-		free[k] = append(free[k], t)
-	}
-	e := &Explanation{Inst: inst, Funcs: funcs.Clone()}
-	for s := 0; s < inst.Source.Len(); s++ {
-		k, ok := pack(buf, func(a int) int32 {
-			c := co.Src[a][s]
-			if memos[a] == nil {
-				return c
+		if t&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			return memos[a][c]
-		})
+		}
+		k, _ := packKey(buf, d, func(a int) int32 { return co.Tgt[a][t] })
+		free[k] = append(free[k], int32(t))
+	}
+	matchOf := make([]int32, inst.Source.Len())
+	for s := 0; s < inst.Source.Len(); s++ {
+		if s&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		matchOf[s] = -1
+		k, ok := packKey(buf, d, func(a int) int32 { return imageCode(co, memos, a, s) })
 		if q := free[k]; ok && len(q) > 0 {
-			e.CoreSrc = append(e.CoreSrc, s)
-			e.CoreTgt = append(e.CoreTgt, q[0])
+			matchOf[s] = q[0]
 			free[k] = q[1:]
+		}
+	}
+	return matchOf, nil
+}
+
+// assemble turns the match table into the explanation's record partitions:
+// core pairs in source order, deletions in source order, insertions in
+// target order — exactly the order the sequential scan used to append them.
+func assemble(e *Explanation, matchOf []int32, nTgt int) {
+	claimed := make([]bool, nTgt)
+	for s, t := range matchOf {
+		if t >= 0 {
+			e.CoreSrc = append(e.CoreSrc, s)
+			e.CoreTgt = append(e.CoreTgt, int(t))
+			claimed[t] = true
 		} else {
 			e.Deleted = append(e.Deleted, s)
 		}
 	}
-	claimed := make([]bool, inst.Target.Len())
-	for _, t := range e.CoreTgt {
-		claimed[t] = true
-	}
-	for t := 0; t < inst.Target.Len(); t++ {
+	for t := 0; t < nTgt; t++ {
 		if !claimed[t] {
 			e.Inserted = append(e.Inserted, t)
 		}
 	}
-	return e, nil
 }
 
 // Trivial returns E∅ = (S, T, {id}^d): everything deleted and inserted
@@ -338,6 +453,14 @@ type CostModel struct {
 // DefaultCosts is the paper's standard setting α = 0.5, under which
 // c(E) = L(T^{E+}) + L(F^E).
 var DefaultCosts = CostModel{Alpha: 0.5}
+
+// TrivialCost returns c(E∅) for a d-attribute instance with nTgt target
+// records in closed form: the trivial explanation inserts every target
+// record (L = d·nTgt) with an all-identity tuple (L(F) = 0), so
+// c = 2α·d·nTgt. Equals Cost(Trivial(inst)) without building E∅.
+func (cm CostModel) TrivialCost(d, nTgt int) float64 {
+	return 2 * cm.Alpha * float64(d*nTgt)
+}
 
 // InsertionLength returns L(T^{E+}) = |A| · |T^{E+}| (Def 3.8).
 func (e *Explanation) InsertionLength() int {

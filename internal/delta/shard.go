@@ -1,0 +1,181 @@
+package delta
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sharded end-state conversion. The greedy multiset matching of
+// Proposition 3.6 interacts only within equal keys: source record s (in
+// source order) claims the earliest unclaimed target record whose code
+// tuple equals s's image tuple. Keys therefore partition the problem — the
+// claim order for key K depends only on the sources whose image is K and
+// the targets whose tuple is K, each in their own record order. Routing
+// every record to a shard by a hash of its (image) code tuple keeps all
+// records that could ever match in one shard; each shard replays the
+// sequential greedy order on its own keys, and the union of shard matches
+// is exactly the sequential matching — byte-identical explanations for any
+// worker count.
+
+// fnv1a64 constants for hashing code tuples into shards.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// matchSharded is the parallel counterpart of matchSequential: it computes
+// the same matchOf table with the matching partitioned by key hash across
+// up to `workers` shards. Phases:
+//
+//  1. (parallel over record ranges) hash every target tuple and every
+//     source image tuple; sources whose image leaves the snapshot value
+//     set are marked unmatchable;
+//  2. (sequential) record indices are bucketed per shard, preserving
+//     ascending order within each bucket;
+//  3. (parallel over shards) each shard builds its private
+//     unclaimed-target multiset index from its bucket and greedily matches
+//     its sources in ascending order — writes to matchOf never race
+//     because every source belongs to exactly one shard;
+//  4. the caller assembles the partitions with the same sequential pass
+//     the single-threaded matcher uses.
+func matchSharded(ctx context.Context, inst *Instance, co *Coded, memos [][]int32, workers int) ([]int32, error) {
+	d := inst.NumAttrs()
+	nSrc, nTgt := inst.Source.Len(), inst.Target.Len()
+
+	// Shard count only affects load balance, never the result; shards
+	// beyond the core count or the key-bearing record count are pure
+	// overhead.
+	shards := workers
+	if max := runtime.GOMAXPROCS(0); shards > max {
+		shards = max
+	}
+	if max := nTgt/2 + 1; shards > max {
+		shards = max
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	srcHash := make([]uint64, nSrc)
+	srcOK := make([]bool, nSrc)
+	tgtHash := make([]uint64, nTgt)
+	var cancelled atomic.Bool
+
+	// Phase 1: hash code tuples, partitioned by contiguous record ranges.
+	hashRange := func(n int, task func(i int)) {
+		chunk := (n + shards - 1) / shards
+		if chunk < 1 {
+			chunk = 1
+		}
+		var wg sync.WaitGroup
+		for off := 0; off < n; off += chunk {
+			end := off + chunk
+			if end > n {
+				end = n
+			}
+			wg.Add(1)
+			go func(off, end int) {
+				defer wg.Done()
+				for i := off; i < end; i++ {
+					if i&buildCancelMask == 0 && ctx.Err() != nil {
+						cancelled.Store(true)
+						return
+					}
+					task(i)
+				}
+			}(off, end)
+		}
+		wg.Wait()
+	}
+	hashRange(nTgt, func(t int) {
+		h := uint64(fnvOffset64)
+		for a := 0; a < d; a++ {
+			h = (h ^ uint64(uint32(co.Tgt[a][t]))) * fnvPrime64
+		}
+		tgtHash[t] = h
+	})
+	hashRange(nSrc, func(s int) {
+		h := uint64(fnvOffset64)
+		ok := true
+		for a := 0; a < d; a++ {
+			c := imageCode(co, memos, a, s)
+			if c < 0 {
+				ok = false
+				break
+			}
+			h = (h ^ uint64(uint32(c))) * fnvPrime64
+		}
+		srcHash[s] = h
+		srcOK[s] = ok
+	})
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+
+	// Phase 2: bucket record indices per shard (ascending within each
+	// bucket — the order the greedy matching must replay), so each shard
+	// only ever visits its own records.
+	w := uint64(shards)
+	tgtByShard := make([][]int32, shards)
+	srcByShard := make([][]int32, shards)
+	for t := 0; t < nTgt; t++ {
+		if t&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sh := tgtHash[t] % w
+		tgtByShard[sh] = append(tgtByShard[sh], int32(t))
+	}
+	matchOf := make([]int32, nSrc)
+	for s := 0; s < nSrc; s++ {
+		if s&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		matchOf[s] = -1
+		if srcOK[s] {
+			sh := srcHash[s] % w
+			srcByShard[sh] = append(srcByShard[sh], int32(s))
+		}
+	}
+
+	// Phase 3: per-shard greedy matching over the buckets. matchOf starts
+	// all-deleted; shards fill in their own sources' claims.
+	var wg sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			buf := make([]byte, 4*d)
+			free := make(map[string][]int32)
+			for i, t := range tgtByShard[shard] {
+				if i&buildCancelMask == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				k, _ := packKey(buf, d, func(a int) int32 { return co.Tgt[a][t] })
+				free[k] = append(free[k], t)
+			}
+			for i, s := range srcByShard[shard] {
+				if i&buildCancelMask == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				k, _ := packKey(buf, d, func(a int) int32 { return imageCode(co, memos, a, int(s)) })
+				if q := free[k]; len(q) > 0 {
+					matchOf[s] = q[0]
+					free[k] = q[1:]
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return matchOf, nil
+}

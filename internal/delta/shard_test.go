@@ -1,0 +1,147 @@
+package delta_test
+
+import (
+	"context"
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
+	"affidavit/internal/gen"
+)
+
+// shardRows caps dataset sizes so the full-registry sweep stays fast under
+// the race detector.
+func shardRows(spec datasets.Spec) int {
+	rows := spec.Rows
+	if rows > 600 {
+		rows = 600
+	}
+	if spec.DataAttrs > 40 && rows > 150 {
+		rows = 150
+	}
+	return rows
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameExplanation(t *testing.T, seq, par *delta.Explanation) {
+	t.Helper()
+	if !equalIntSlices(seq.CoreSrc, par.CoreSrc) || !equalIntSlices(seq.CoreTgt, par.CoreTgt) {
+		t.Error("core alignments differ")
+	}
+	if !equalIntSlices(seq.Deleted, par.Deleted) {
+		t.Errorf("deletions differ: %v vs %v", seq.Deleted, par.Deleted)
+	}
+	if !equalIntSlices(seq.Inserted, par.Inserted) {
+		t.Errorf("insertions differ: %v vs %v", seq.Inserted, par.Inserted)
+	}
+	if seq.Funcs.Key() != par.Funcs.Key() {
+		t.Error("function tuples differ")
+	}
+}
+
+// TestBuildShardedMatchesSequential is the sharded conversion's acceptance
+// check: on every registry dataset, Build with Workers > 1 partitions the
+// multiset matching by key and must reproduce the sequential explanation
+// byte for byte — same core alignment, deletions and insertions — for the
+// reference tuple (non-identity functions included) and for the
+// all-identity tuple. Run under -race this also exercises the concurrent
+// shard scans.
+func TestBuildShardedMatchesSequential(t *testing.T) {
+	for _, spec := range datasets.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tab, err := spec.BuildRows(shardRows(spec), 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, funcs := range map[string]delta.FuncTuple{
+				"reference": p.Reference.Funcs,
+				"identity":  delta.IdentityTuple(p.Inst.NumAttrs()),
+			} {
+				seq, err := delta.Build(p.Inst, funcs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 3, 8} {
+					par, err := delta.BuildCtx(context.Background(), p.Inst, funcs,
+						delta.BuildOptions{Workers: workers})
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, workers, err)
+					}
+					if err := par.Validate(); err != nil {
+						t.Fatalf("%s workers=%d: %v", name, workers, err)
+					}
+					assertSameExplanation(t, seq, par)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildCtxCancelled: a cancelled context aborts the conversion with the
+// context's error, sequentially and sharded.
+func TestBuildCtxCancelled(t *testing.T) {
+	ds, err := datasets.Get("ncvoter-1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := delta.BuildCtx(ctx, p.Inst, p.Reference.Funcs,
+			delta.BuildOptions{Workers: workers}); err == nil {
+			t.Errorf("workers=%d: want context error, got nil", workers)
+		}
+	}
+}
+
+// TestBuildShardedEmptyAndTiny: degenerate shapes — empty snapshots and a
+// worker count far above the record count — stay byte-identical.
+func TestBuildShardedEmptyAndTiny(t *testing.T) {
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.BuildRows(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := delta.Build(p.Inst, p.Reference.Funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := delta.BuildCtx(context.Background(), p.Inst, p.Reference.Funcs,
+		delta.BuildOptions{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExplanation(t, seq, par)
+}

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -100,8 +101,9 @@ type CellSpec struct {
 }
 
 // RunCell generates Seeds problem instances and macro-averages the metrics.
-// Instances run in parallel across available CPUs.
-func RunCell(spec CellSpec) (Cell, error) {
+// Instances run in parallel across available CPUs. Cancelling ctx aborts
+// the cell with ctx's error.
+func RunCell(ctx context.Context, spec CellSpec) (Cell, error) {
 	ds, err := datasets.Get(spec.Dataset)
 	if err != nil {
 		return Cell{}, err
@@ -138,9 +140,13 @@ func RunCell(spec CellSpec) (Cell, error) {
 			opts := spec.Opts
 			opts.Seed = seed
 			start := time.Now()
-			res, err := search.Run(p.Inst, opts)
+			res, err := search.Run(ctx, p.Inst, opts)
 			if err != nil {
 				errs[i] = err
+				return
+			}
+			if res.Stats.Cancelled {
+				errs[i] = fmt.Errorf("eval: run cancelled: %w", ctx.Err())
 				return
 			}
 			dc, dk, acc := Metrics(p, res, cm)
@@ -193,8 +199,9 @@ type Table2Spec struct {
 	Progress func(Cell)
 }
 
-// Table2 measures every requested cell in Table 2 order.
-func Table2(spec Table2Spec) ([]Cell, error) {
+// Table2 measures every requested cell in Table 2 order. Cancelling ctx
+// stops before the next cell (and interrupts the running one).
+func Table2(ctx context.Context, spec Table2Spec) ([]Cell, error) {
 	names := spec.Datasets
 	if names == nil {
 		for _, n := range datasets.Names() {
@@ -214,7 +221,10 @@ func Table2(spec Table2Spec) ([]Cell, error) {
 	for _, name := range names {
 		for _, setting := range settings {
 			for _, cfg := range []string{"Hs", "Hid"} {
-				cell, err := RunCell(CellSpec{
+				if err := ctx.Err(); err != nil {
+					return out, fmt.Errorf("eval: cancelled: %w", err)
+				}
+				cell, err := RunCell(ctx, CellSpec{
 					Dataset:  name,
 					Rows:     spec.Rows[name],
 					Setting:  setting,

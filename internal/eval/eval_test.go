@@ -1,6 +1,7 @@
 package eval_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestMetricsTrivialRun(t *testing.T) {
 // setting: both configurations must reach acc ≈ 1 and ∆core ≈ 1.
 func TestRunCellIrisQuality(t *testing.T) {
 	for cfg, opts := range eval.Configs() {
-		cell, err := eval.RunCell(eval.CellSpec{
+		cell, err := eval.RunCell(context.Background(), eval.CellSpec{
 			Dataset: "iris",
 			Setting: gen.Setting{Eta: 0.3, Tau: 0.3},
 			Config:  cfg,
@@ -77,14 +78,14 @@ func TestRunCellIrisQuality(t *testing.T) {
 }
 
 func TestRunCellUnknownDataset(t *testing.T) {
-	if _, err := eval.RunCell(eval.CellSpec{Dataset: "nope"}); err == nil {
+	if _, err := eval.RunCell(context.Background(), eval.CellSpec{Dataset: "nope"}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestTable2SmallGrid(t *testing.T) {
 	var progressed int
-	cells, err := eval.Table2(eval.Table2Spec{
+	cells, err := eval.Table2(context.Background(), eval.Table2Spec{
 		Datasets:  []string{"iris", "balance"},
 		Instances: 1,
 		Settings:  []gen.Setting{{Eta: 0.3, Tau: 0.3}},
@@ -106,7 +107,7 @@ func TestTable2SmallGrid(t *testing.T) {
 }
 
 func TestFigure5Scaled(t *testing.T) {
-	points, err := eval.Figure5(eval.Figure5Spec{
+	points, err := eval.Figure5(context.Background(), eval.Figure5Spec{
 		BaseRows: 2000, // scaled-down flight-500k for test budget
 		Factors:  []float64{0.5, 1.0},
 		Seed:     1,
@@ -128,7 +129,7 @@ func TestFigure5Scaled(t *testing.T) {
 }
 
 func TestFigure6Scaled(t *testing.T) {
-	points, err := eval.Figure6(eval.Figure6Spec{
+	points, err := eval.Figure6(context.Background(), eval.Figure6Spec{
 		Datasets: []string{"plista", "flight-1k"},
 		Rows:     map[string]int{"plista": 600, "flight-1k": 600},
 		Seed:     2,

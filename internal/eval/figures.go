@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,8 +37,9 @@ type Figure5Spec struct {
 }
 
 // Figure5 generates one (η=0.3, τ=0.3) flight-500k problem instance, scales
-// it to each factor, and measures Hid runtimes.
-func Figure5(spec Figure5Spec) ([]ScalePoint, error) {
+// it to each factor, and measures Hid runtimes. Cancelling ctx returns the
+// points measured so far together with ctx's error.
+func Figure5(ctx context.Context, spec Figure5Spec) ([]ScalePoint, error) {
 	ds, err := datasets.Get("flight-500k")
 	if err != nil {
 		return nil, err
@@ -61,6 +63,9 @@ func Figure5(spec Figure5Spec) ([]ScalePoint, error) {
 	}
 	var out []ScalePoint
 	for _, f := range spec.Factors {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("eval: cancelled: %w", err)
+		}
 		p := base
 		if f < 1 {
 			p, err = base.Scale(f, spec.Seed+int64(f*1000))
@@ -71,9 +76,12 @@ func Figure5(spec Figure5Spec) ([]ScalePoint, error) {
 		opts := spec.Opts
 		opts.Seed = spec.Seed
 		start := time.Now()
-		res, err := search.Run(p.Inst, opts)
+		res, err := search.Run(ctx, p.Inst, opts)
 		if err != nil {
 			return nil, err
+		}
+		if res.Stats.Cancelled {
+			return out, fmt.Errorf("eval: cancelled: %w", ctx.Err())
 		}
 		cm := delta.CostModel{Alpha: opts.Alpha}
 		pt := ScalePoint{
@@ -114,14 +122,18 @@ type Figure6Spec struct {
 	Progress func(AttrPoint)
 }
 
-// Figure6 measures normalised runtimes against attribute count.
-func Figure6(spec Figure6Spec) ([]AttrPoint, error) {
+// Figure6 measures normalised runtimes against attribute count. Cancelling
+// ctx returns the points measured so far together with ctx's error.
+func Figure6(ctx context.Context, spec Figure6Spec) ([]AttrPoint, error) {
 	names := spec.Datasets
 	if names == nil {
 		names = []string{"fd-red-30", "plista", "flight-1k", "uniprot"}
 	}
 	var out []AttrPoint
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("eval: cancelled: %w", err)
+		}
 		ds, err := datasets.Get(name)
 		if err != nil {
 			return nil, err
@@ -144,8 +156,12 @@ func Figure6(spec Figure6Spec) ([]AttrPoint, error) {
 		opts := spec.Opts
 		opts.Seed = spec.Seed
 		start := time.Now()
-		if _, err := search.Run(p.Inst, opts); err != nil {
+		res, err := search.Run(ctx, p.Inst, opts)
+		if err != nil {
 			return nil, err
+		}
+		if res.Stats.Cancelled {
+			return out, fmt.Errorf("eval: cancelled: %w", ctx.Err())
 		}
 		elapsed := time.Since(start)
 		n := p.Inst.Source.Len()

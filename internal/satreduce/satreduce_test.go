@@ -1,6 +1,7 @@
 package satreduce_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -121,7 +122,7 @@ func TestAffidavitSolvesReducedInstance(t *testing.T) {
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = 2
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

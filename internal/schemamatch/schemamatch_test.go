@@ -1,6 +1,7 @@
 package schemamatch_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestEndToEndRenamedSnapshot(t *testing.T) {
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = 1
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestDOTExport(t *testing.T) {
 	opts.QueueWidth = 3
 	opts.Seed = 1
 	opts.Tracer = tr
-	if _, err := search.Run(inst, opts); err != nil {
+	if _, err := search.Run(context.Background(), inst, opts); err != nil {
 		t.Fatal(err)
 	}
 	dot := tr.DOT()

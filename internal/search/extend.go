@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -42,13 +43,18 @@ func (e *engine) extensions(h *State) []*State {
 	next := batch
 	queue := append([]int(nil), ordered[:batch]...)
 	for len(ext) == 0 && len(queue) > 0 {
+		if e.done() {
+			// Cancelled mid-expansion: drop the wave; the poll loop notices
+			// on its next iteration and salvages the best polled state.
+			return nil
+		}
 		probes := make([]probeResult, len(queue))
 		e.runAll(len(queue), func(i int) {
 			probes[i] = e.probe(h, queue[i], r)
 		})
 		for _, pr := range probes {
 			e.stats.StatesGenerated += pr.generated
-			if e.opts.Tracer != nil {
+			if e.opts.Tracer != nil && pr.hg != nil {
 				e.opts.Tracer.Probe(h, pr.attr, pr.hg, pr.kept)
 			}
 			ext = append(ext, pr.kept...)
@@ -58,6 +64,9 @@ func (e *engine) extensions(h *State) []*State {
 			queue = append(queue, ordered[next])
 			next++
 		}
+	}
+	if e.done() {
+		return nil
 	}
 	if len(ext) == 0 {
 		// Every undecided attribute is ⊡: finalise with greedy maps.
@@ -77,8 +86,13 @@ type probeResult struct {
 
 // probe compares the β best induced candidates for one attribute against
 // the greedy-map probe. It is safe to run concurrently with other probes of
-// the same parent state.
+// the same parent state. Each probe — i.e. each worker task — checks the
+// run's context on entry and returns an empty result once cancelled; the
+// blocking refinements it triggers observe the context as well.
 func (e *engine) probe(h *State, attr int, r []align.Pair) probeResult {
+	if e.done() {
+		return probeResult{attr: attr}
+	}
 	g := align.GreedyMap(h.inst, r, attr)
 	hg := h.extend(attr, g, e.cm)
 	icfg := e.opts.Induce
@@ -150,12 +164,17 @@ func (e *engine) finalize(h *State) *State {
 // goroutine; probes use derived rngs and report their work via
 // probeResult.
 type engine struct {
+	ctx   context.Context
 	opts  Options
 	cm    delta.CostModel
 	rng   *rand.Rand
 	stats *Stats
 	sem   chan struct{} // worker-pool slots; nil = sequential engine
 }
+
+// done reports whether the run's context was cancelled. Checked once per
+// poll, on every probe entry, and by every blocking refinement.
+func (e *engine) done() bool { return e.ctx.Err() != nil }
 
 // runAll runs n independent tasks, evaluating up to Workers of them
 // concurrently. The calling goroutine participates: when every pool slot is

@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,11 +48,11 @@ func TestParallelSequentialEquivalence(t *testing.T) {
 			seq.Workers = 1
 			par := seq
 			par.Workers = 8
-			a, err := search.Run(p.Inst, seq)
+			a, err := search.Run(context.Background(), p.Inst, seq)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := search.Run(p.Inst, par)
+			b, err := search.Run(context.Background(), p.Inst, par)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -90,11 +91,11 @@ func TestParallelEquivalenceAcrossConfigs(t *testing.T) {
 				par := cfg.opts
 				par.Seed = seed
 				par.Workers = 4
-				a, err := search.Run(inst, seq)
+				a, err := search.Run(context.Background(), inst, seq)
 				if err != nil {
 					t.Fatal(err)
 				}
-				b, err := search.Run(inst, par)
+				b, err := search.Run(context.Background(), inst, par)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -167,11 +168,11 @@ func TestParallelEquivalenceAboveRefineThreshold(t *testing.T) {
 	seq.Seed = 3
 	par := seq
 	par.Workers = 8
-	a, err := search.Run(p.Inst, seq)
+	a, err := search.Run(context.Background(), p.Inst, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := search.Run(p.Inst, par)
+	b, err := search.Run(context.Background(), p.Inst, par)
 	if err != nil {
 		t.Fatal(err)
 	}

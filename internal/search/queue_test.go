@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -161,7 +162,7 @@ func TestQuickQueueMonotonePoll(t *testing.T) {
 func TestStateDescribe(t *testing.T) {
 	inst := fixture.Instance()
 	cm := delta.DefaultCosts
-	root := newRoot(inst, cm, 1)
+	root := newRoot(context.Background(), inst, cm, 1)
 	s := root.extend(fixture.Type, metafunc.Identity{}, cm).
 		extend(fixture.Unit, metafunc.Constant{C: "k $"}, cm)
 	want := `(∗, ∗, ∗, id, ∗, x ↦ "k $", ∗)`
@@ -182,7 +183,7 @@ func TestStateDescribe(t *testing.T) {
 func TestEndStateCostCoherence(t *testing.T) {
 	inst := fixture.Instance()
 	cm := delta.DefaultCosts
-	s := newRoot(inst, cm, 1)
+	s := newRoot(context.Background(), inst, cm, 1)
 	for a, f := range fixture.ReferenceFuncs() {
 		s = s.extend(a, f, cm)
 	}
@@ -198,7 +199,7 @@ func TestEndStateCostCoherence(t *testing.T) {
 func TestStateCostMonotone(t *testing.T) {
 	inst := fixture.Instance()
 	cm := delta.DefaultCosts
-	root := newRoot(inst, cm, 1)
+	root := newRoot(context.Background(), inst, cm, 1)
 	ref := fixture.ReferenceFuncs()
 	s := root
 	for a, f := range ref {

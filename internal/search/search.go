@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -102,6 +104,21 @@ type Options struct {
 	// deterministic, and the parallel engine remains equivalent to the
 	// sequential one.
 	WarmStart []metafunc.Func
+	// WarmGuard, when > 0, arms the warm-start quality guard: before the
+	// warm states are admitted, the full warm state's re-validated cost is
+	// compared — as a fraction of this pair's trivial-explanation cost —
+	// against the previous run's compression ratio (WarmPrevRatio). If it
+	// exceeds WarmGuard × WarmPrevRatio the incremental run would anchor on
+	// a stale structure, so the warm states are discarded and the run
+	// escalates to a cold search over the configured Start strategy
+	// (Stats.WarmEscalated reports the escalation; the escalated run is
+	// byte-identical to a cold run with the same seed). Must be ≥ 0; 0
+	// disables the guard. Ignored when WarmStart is nil.
+	WarmGuard float64
+	// WarmPrevRatio is the previous run's cost divided by its pair's
+	// trivial-explanation cost — the compression-ratio baseline the guard
+	// compares against. Must be ≥ 0. Sessions fill it automatically.
+	WarmPrevRatio float64
 }
 
 // DefaultOptions returns the paper's H^id evaluation configuration
@@ -135,6 +152,13 @@ type Stats struct {
 	Evicted         int           // admissions that displaced a queued state
 	Duration        time.Duration // wall time
 	StartLevel      int           // assignments in the chosen start state(s)
+	// Cancelled reports that the run's context was cancelled (or its
+	// deadline passed) before the search finished. A cancelled run still
+	// returns a valid best-so-far explanation instead of an error.
+	Cancelled bool
+	// WarmEscalated reports that the warm-start quality guard rejected the
+	// warm states as stale and the run fell back to a cold search.
+	WarmEscalated bool
 }
 
 // Result is a finished run: the explanation, its cost, and run statistics.
@@ -147,7 +171,19 @@ type Result struct {
 // Run executes Algorithm 1 on the instance and returns the best explanation
 // found. It falls back to the trivial explanation if the search cannot
 // produce an end state within MaxExpansions.
-func Run(inst *delta.Instance, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative: the poll loop checks ctx once per iteration,
+// every probe checks it on entry, and blocking refinements observe it too,
+// so a cancelled run returns within about one poll iteration. Rather than
+// discarding the climb, a cancelled run salvages its best-so-far work — the
+// cheapest polled state is finalised with greedy value mappings and
+// converted like an ordinary end state — and returns that explanation with
+// Stats.Cancelled set and a nil error. Callers that must distinguish
+// complete from interrupted results check Stats.Cancelled.
+func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if inst.NumAttrs() == 0 {
 		return nil, fmt.Errorf("search: instance has no attributes")
 	}
@@ -170,8 +206,15 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("search: WarmStart has %d functions, schema has %d attributes",
 			len(opts.WarmStart), inst.NumAttrs())
 	}
+	if opts.WarmGuard < 0 {
+		return nil, fmt.Errorf("search: WarmGuard must be ≥ 0, got %v", opts.WarmGuard)
+	}
+	if opts.WarmPrevRatio < 0 {
+		return nil, fmt.Errorf("search: WarmPrevRatio must be ≥ 0, got %v", opts.WarmPrevRatio)
+	}
 	start := time.Now()
 	e := &engine{
+		ctx:   ctx,
 		opts:  opts,
 		cm:    delta.CostModel{Alpha: opts.Alpha},
 		rng:   rand.New(rand.NewSource(opts.Seed)),
@@ -182,9 +225,37 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 		// semaphore holds Workers−1 extra slots.
 		e.sem = make(chan struct{}, opts.Workers-1)
 	}
-	root := newRoot(inst, e.cm, opts.Workers)
+	finish := func(expl *delta.Explanation) (*Result, error) {
+		if err := expl.Validate(); err != nil {
+			return nil, fmt.Errorf("search: produced invalid explanation: %w", err)
+		}
+		e.stats.Duration = time.Since(start)
+		return &Result{
+			Explanation: expl,
+			Cost:        e.cm.Cost(expl),
+			Stats:       *e.stats,
+		}, nil
+	}
+	if e.done() {
+		// Cancelled before any search work: the trivial explanation is the
+		// only best-so-far there is.
+		e.stats.Cancelled = true
+		return finish(delta.Trivial(inst))
+	}
+	root := newRoot(ctx, inst, e.cm, opts.Workers)
 	q := newQueue(opts.QueueWidth)
 	starts := e.warmStates(root)
+	if len(starts) > 0 && opts.WarmGuard > 0 {
+		// Warm-start quality guard: the first warm state carries the whole
+		// previous tuple, re-blocked and re-costed against this pair. When
+		// its cost ratio blows past the previous run's compression ratio the
+		// structure no longer transfers — escalate to a cold search.
+		trivial := e.cm.TrivialCost(inst.NumAttrs(), inst.Target.Len())
+		if trivial > 0 && starts[0].cost > opts.WarmGuard*opts.WarmPrevRatio*trivial {
+			e.stats.WarmEscalated = true
+			starts = nil
+		}
+	}
 	if starts == nil {
 		starts = e.startStates(inst, root)
 	}
@@ -195,8 +266,12 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 		}
 	}
 
-	var end *State
+	var end, best *State
 	for q.Len() > 0 {
+		if e.done() {
+			e.stats.Cancelled = true
+			break
+		}
 		h := q.Poll()
 		e.stats.Polls++
 		if opts.Tracer != nil {
@@ -206,6 +281,9 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 			end = h
 			break
 		}
+		if best == nil || h.cost < best.cost {
+			best = h
+		}
 		if opts.MaxExpansions > 0 && e.stats.Polls >= opts.MaxExpansions {
 			break
 		}
@@ -213,28 +291,50 @@ func Run(inst *delta.Instance, opts Options) (*Result, error) {
 			e.offer(q, child)
 		}
 	}
-	e.stats.Duration = time.Since(start)
+	if e.stats.Cancelled && end == nil && best != nil {
+		// Salvage the climb: resolve the cheapest polled state's remaining
+		// attributes with greedy maps — about one expansion's worth of work —
+		// instead of throwing the partial assignment away.
+		end = e.finalize(best)
+	}
 
 	var expl *delta.Explanation
 	if end != nil {
 		tuple := make(delta.FuncTuple, len(end.funcs))
 		copy(tuple, end.funcs)
+		bctx := ctx
+		if e.stats.Cancelled {
+			// The run is committed to returning its best-so-far result; the
+			// conversion is one bounded pass, so let it complete.
+			bctx = context.WithoutCancel(ctx)
+		}
 		var err error
-		expl, err = delta.Build(inst, tuple)
+		expl, err = delta.BuildCtx(bctx, inst, tuple, delta.BuildOptions{Workers: opts.Workers})
+		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// The deadline fired inside the conversion itself. The run has
+			// already found its end state — the same tuple a slightly
+			// earlier cancellation would have converted uncancelled — so
+			// finish the one bounded conversion pass and tag the result,
+			// rather than downgrading a complete search to the trivial
+			// explanation.
+			e.stats.Cancelled = true
+			expl, err = delta.BuildCtx(context.WithoutCancel(ctx), inst, tuple,
+				delta.BuildOptions{Workers: opts.Workers})
+		}
 		if err != nil {
 			return nil, fmt.Errorf("search: converting end state: %w", err)
 		}
 	} else {
 		expl = delta.Trivial(inst)
 	}
-	if err := expl.Validate(); err != nil {
-		return nil, fmt.Errorf("search: produced invalid explanation: %w", err)
+	if e.stats.Cancelled {
+		// Best-so-far must never be worse than the always-available E∅: a
+		// salvaged greedy finalisation can carry heavy mapping parameters.
+		if triv := delta.Trivial(inst); e.cm.Cost(triv) < e.cm.Cost(expl) {
+			expl = triv
+		}
 	}
-	return &Result{
-		Explanation: expl,
-		Cost:        e.cm.Cost(expl),
-		Stats:       *e.stats,
-	}, nil
+	return finish(expl)
 }
 
 // offer adds a state to the queue, keeping the admission statistics.

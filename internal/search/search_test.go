@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"testing"
 
 	"affidavit/internal/delta"
@@ -18,7 +19,7 @@ func TestRunningExample(t *testing.T) {
 	opts.Beta = 2
 	opts.QueueWidth = 3
 	opts.Seed = 1
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunningExampleOverlapConfig(t *testing.T) {
 	inst := fixture.Instance()
 	opts := search.OverlapOptions()
 	opts.Seed = 3
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunningExampleEmptyStart(t *testing.T) {
 	opts := search.DefaultOptions()
 	opts.Start = search.StartEmpty
 	opts.Seed = 5
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestSeedDeterminism(t *testing.T) {
 	inst := fixture.Instance()
 	opts := search.DefaultOptions()
 	opts.Seed = 42
-	a, err := search.Run(inst, opts)
+	a, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := search.Run(inst, opts)
+	b, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFigure4SearchTree(t *testing.T) {
 	opts.QueueWidth = 3
 	opts.Seed = 1
 	opts.Tracer = tr
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestIdenticalSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Run(inst, search.DefaultOptions())
+	res, err := search.Run(context.Background(), inst, search.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestPureInsertions(t *testing.T) {
 	src := table.MustFromRows(s, []table.Record{{"1"}, {"2"}})
 	tgt := table.MustFromRows(s, []table.Record{{"1"}, {"2"}, {"3"}})
 	inst, _ := delta.NewInstance(src, tgt, nil)
-	res, err := search.Run(inst, search.DefaultOptions())
+	res, err := search.Run(context.Background(), inst, search.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,32 +217,32 @@ func TestOptionValidation(t *testing.T) {
 	inst := fixture.Instance()
 	bad := search.DefaultOptions()
 	bad.Beta = 0
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("Beta=0 accepted")
 	}
 	bad = search.DefaultOptions()
 	bad.Alpha = 1.5
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("Alpha=1.5 accepted")
 	}
 	bad = search.DefaultOptions()
 	bad.QueueWidth = 0
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("QueueWidth=0 accepted")
 	}
 	bad = search.DefaultOptions()
 	bad.QueueWidth = -3
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("QueueWidth=-3 accepted")
 	}
 	bad = search.DefaultOptions()
 	bad.MaxExpansions = -1
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("MaxExpansions=-1 accepted")
 	}
 	bad = search.DefaultOptions()
 	bad.Workers = -2
-	if _, err := search.Run(inst, bad); err == nil {
+	if _, err := search.Run(context.Background(), inst, bad); err == nil {
 		t.Error("Workers=-2 accepted")
 	}
 }
@@ -252,7 +253,7 @@ func TestMaxExpansionsFallback(t *testing.T) {
 	inst := fixture.Instance()
 	opts := search.DefaultOptions()
 	opts.MaxExpansions = 1
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

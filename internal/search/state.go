@@ -6,6 +6,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -29,11 +30,13 @@ type State struct {
 // newRoot returns the all-undecided state H∅ = (∗, …, ∗). workers > 1
 // additionally lets every blocking refinement in the search tree partition
 // huge blocks across that many goroutines (see blocking.Result.WithWorkers).
-func newRoot(inst *delta.Instance, cm delta.CostModel, workers int) *State {
+// Every refinement in the tree observes ctx, so a cancelled run never
+// starts another block split.
+func newRoot(ctx context.Context, inst *delta.Instance, cm delta.CostModel, workers int) *State {
 	s := &State{
 		inst:   inst,
 		funcs:  make([]metafunc.Func, inst.NumAttrs()),
-		blocks: blocking.New(inst).WithWorkers(workers),
+		blocks: blocking.New(inst).WithWorkers(workers).WithContext(ctx),
 	}
 	s.cost = stateCost(s, cm)
 	s.key = stateKey(s.funcs)

@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"testing"
 
 	"affidavit/internal/datasets"
@@ -34,7 +35,7 @@ func warmInstance(t *testing.T, permuteKeys bool) (*delta.Instance, delta.FuncTu
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = 17
-	res, err := search.Run(prev, opts)
+	res, err := search.Run(context.Background(), prev, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestWarmStartValidation(t *testing.T) {
 	opts := search.DefaultOptions()
 	opts.Seed = 17
 	opts.WarmStart = make([]metafunc.Func, inst.NumAttrs()+1)
-	if _, err := search.Run(inst, opts); err == nil {
+	if _, err := search.Run(context.Background(), inst, opts); err == nil {
 		t.Fatal("want error for wrong-length WarmStart")
 	}
 }
@@ -61,12 +62,12 @@ func TestWarmStartAllNilFallsBackCold(t *testing.T) {
 	inst, _ := warmInstance(t, false)
 	opts := search.DefaultOptions()
 	opts.Seed = 17
-	cold, err := search.Run(inst, opts)
+	cold, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.WarmStart = make([]metafunc.Func, inst.NumAttrs())
-	warm, err := search.Run(inst, opts)
+	warm, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestWarmStartDeterministic(t *testing.T) {
 		opts := search.DefaultOptions()
 		opts.Seed = 17
 		opts.WarmStart = funcs
-		a, err := search.Run(inst, opts)
+		a, err := search.Run(context.Background(), inst, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := search.Run(inst, opts)
+		b, err := search.Run(context.Background(), inst, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,15 +108,144 @@ func TestWarmStartParallelEquivalence(t *testing.T) {
 		seq.WarmStart = funcs
 		par := seq
 		par.Workers = 8
-		a, err := search.Run(inst, seq)
+		a, err := search.Run(context.Background(), inst, seq)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := search.Run(inst, par)
+		b, err := search.Run(context.Background(), inst, par)
 		if err != nil {
 			t.Fatal(err)
 		}
 		assertSameResult(t, a, b)
+	}
+}
+
+// trivialRatioOf is a run's cost over its pair's trivial-explanation cost —
+// what a session feeds the next run as WarmPrevRatio.
+func trivialRatioOf(res *search.Result, inst *delta.Instance, alpha float64) float64 {
+	cm := delta.CostModel{Alpha: alpha}
+	return res.Cost / cm.TrivialCost(inst.NumAttrs(), inst.Target.Len())
+}
+
+// brokenChain builds the guard scenario on one dataset: a recurring chain
+// (pairs share one transformation tuple) that breaks mid-chain when a
+// snapshot from a structurally different chain over the same table is
+// spliced in. Returns the previous pair's learned tuple and compression
+// ratio, the recurring next pair, and the broken pair.
+func brokenChain(t *testing.T) (warm delta.FuncTuple, prevRatio float64, recurring, broken *delta.Instance) {
+	t.Helper()
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chA, err := gen.MakeChain(tab, gen.ChainConfig{Steps: 2, Eta: 0.1, Tau: 0.5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dataset, different seed: same schema, but different records and a
+	// different sustained transformation tuple — splicing its snapshot into
+	// chain A breaks the recurring structure.
+	chB, err := gen.MakeChain(tab, gen.ChainConfig{Steps: 1, Eta: 0.1, Tau: 0.5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := delta.NewInstance(chA.Snapshots[0], chA.Snapshots[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	res, err := search.Run(context.Background(), prev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recurring, err = delta.NewInstance(chA.Snapshots[1], chA.Snapshots[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err = delta.NewInstance(chA.Snapshots[1], chB.Snapshots[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Explanation.Funcs, trivialRatioOf(res, prev, opts.Alpha), recurring, broken
+}
+
+// TestWarmGuardEscalatesOnBrokenChain: when the chain's structure breaks,
+// the armed guard rejects the stale warm seed, sets Stats.WarmEscalated,
+// and the escalated run is byte-identical to a cold run of the same seed.
+func TestWarmGuardEscalatesOnBrokenChain(t *testing.T) {
+	warm, prevRatio, _, broken := brokenChain(t)
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	cold, err := search.Run(context.Background(), broken, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := opts
+	guarded.WarmStart = warm
+	guarded.WarmGuard = 2
+	guarded.WarmPrevRatio = prevRatio
+	got, err := search.Run(context.Background(), broken, guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Stats.WarmEscalated {
+		t.Fatal("guard did not escalate on a broken chain")
+	}
+	norm := *got
+	norm.Stats.WarmEscalated = false
+	assertSameResult(t, cold, &norm)
+}
+
+// TestWarmGuardKeepsRecurringWarmStart: on the chain's true next pair the
+// armed guard leaves the warm seed alone — no escalation, and the run keeps
+// the incremental speedup over the cold search.
+func TestWarmGuardKeepsRecurringWarmStart(t *testing.T) {
+	warm, prevRatio, recurring, _ := brokenChain(t)
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	cold, err := search.Run(context.Background(), recurring, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := opts
+	guarded.WarmStart = warm
+	guarded.WarmGuard = 2
+	guarded.WarmPrevRatio = prevRatio
+	got, err := search.Run(context.Background(), recurring, guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.WarmEscalated {
+		t.Fatal("guard escalated on a recurring pattern")
+	}
+	if got.Stats.Polls >= cold.Stats.Polls {
+		t.Errorf("guarded warm run polled %d states, cold run %d — incremental speedup lost",
+			got.Stats.Polls, cold.Stats.Polls)
+	}
+	if err := got.Explanation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmGuardValidation: negative guard parameters are rejected.
+func TestWarmGuardValidation(t *testing.T) {
+	inst, funcs := warmInstance(t, false)
+	opts := search.DefaultOptions()
+	opts.Seed = 17
+	opts.WarmStart = funcs
+	opts.WarmGuard = -1
+	if _, err := search.Run(context.Background(), inst, opts); err == nil {
+		t.Fatal("want error for negative WarmGuard")
+	}
+	opts.WarmGuard = 0
+	opts.WarmPrevRatio = -0.1
+	if _, err := search.Run(context.Background(), inst, opts); err == nil {
+		t.Fatal("want error for negative WarmPrevRatio")
 	}
 }
 
@@ -128,7 +258,7 @@ func TestWarmStartPartialTuple(t *testing.T) {
 	opts := search.DefaultOptions()
 	opts.Seed = 17
 	opts.WarmStart = partial
-	res, err := search.Run(inst, opts)
+	res, err := search.Run(context.Background(), inst, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,16 @@
 // interning work (values seen once are never re-interned) and the search
 // work (a recurring transformation pattern is re-validated instead of
 // re-discovered) across the whole sequence.
+//
+// Every explanation method takes a context: cancellation and deadlines
+// propagate through the search into blocking refinement and the end-state
+// conversion. A run interrupted by its context still returns a valid
+// best-so-far result with Stats.Cancelled set (see search.Run); sessions
+// never store a cancelled run's tuple as the next warm start.
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,6 +41,10 @@ type Pair struct {
 // (ExplainNext, ExplainWarm) additionally run the search in incremental
 // mode, which matches cold runs on recurring patterns but anchors on the
 // previous structure when the pattern changes (see search.Options.WarmStart).
+// When the session's options arm the warm-start quality guard
+// (search.Options.WarmGuard), the session feeds each run the previous run's
+// compression ratio, so a stale warm tuple escalates to a cold search
+// automatically.
 type Session struct {
 	pool  *table.DictPool
 	opts  search.Options
@@ -43,6 +54,7 @@ type Session struct {
 	current    *table.Table // chain head; nil until set
 	warm       delta.FuncTuple
 	warmSchema *table.Schema
+	warmRatio  float64 // previous warm-capable run's cost/trivial ratio
 	runs       int
 }
 
@@ -80,9 +92,23 @@ func (s *Session) instance(source, target *table.Table) (*delta.Instance, error)
 	return delta.NewInstanceWithDicts(source, target, s.metas, s.pool.DictsFor(source.Schema()))
 }
 
+// trivialRatio is a finished run's cost as a fraction of its pair's
+// trivial-explanation cost — the compression-ratio baseline the warm-start
+// guard compares against. Zero when the trivial cost is zero (empty target
+// or α = 0).
+func trivialRatio(res *search.Result, alpha float64) float64 {
+	inst := res.Explanation.Inst
+	cm := delta.CostModel{Alpha: alpha}
+	trivial := cm.TrivialCost(inst.NumAttrs(), inst.Target.Len())
+	if trivial <= 0 {
+		return 0
+	}
+	return res.Cost / trivial
+}
+
 // run executes one search over the pooled instance, warm-seeded when warm
 // matches the pair's schema.
-func (s *Session) run(source, target *table.Table, warm delta.FuncTuple, warmSchema *table.Schema, workers int) (*search.Result, error) {
+func (s *Session) run(ctx context.Context, source, target *table.Table, warm delta.FuncTuple, warmSchema *table.Schema, prevRatio float64, workers int) (*search.Result, error) {
 	inst, err := s.instance(source, target)
 	if err != nil {
 		return nil, err
@@ -91,15 +117,31 @@ func (s *Session) run(source, target *table.Table, warm delta.FuncTuple, warmSch
 	opts.Workers = workers
 	if warm != nil && warmSchema != nil && warmSchema.Equal(source.Schema()) {
 		opts.WarmStart = warm
+		opts.WarmPrevRatio = prevRatio
 	}
-	return search.Run(inst, opts)
+	return search.Run(ctx, inst, opts)
+}
+
+// storeWarm records a finished run's tuple and compression ratio as the
+// next warm start. Cancelled runs are skipped: an interrupted best-so-far
+// tuple would poison the chain's warm seed.
+func (s *Session) storeWarm(res *search.Result, schema *table.Schema) {
+	if res.Stats.Cancelled {
+		return
+	}
+	s.warm = res.Explanation.Funcs.Clone()
+	s.warmSchema = schema
+	s.warmRatio = trivialRatio(res, s.opts.Alpha)
 }
 
 // ExplainNext explains the difference between the chain head and next, then
 // advances the chain: next becomes the head and the learned function tuple
 // becomes the warm start of the following call. Chain runs serialise on the
-// session; for a fixed seed the whole chain is deterministic.
-func (s *Session) ExplainNext(next *table.Table) (*search.Result, error) {
+// session; for a fixed seed the whole chain is deterministic. A run
+// interrupted by ctx leaves the chain untouched — the head stays put and no
+// warm state is stored — so retrying ExplainNext with the same snapshot
+// re-explains the step instead of silently skipping it.
+func (s *Session) ExplainNext(ctx context.Context, next *table.Table) (*search.Result, error) {
 	if next == nil {
 		return nil, fmt.Errorf("session: ExplainNext needs a snapshot")
 	}
@@ -108,13 +150,14 @@ func (s *Session) ExplainNext(next *table.Table) (*search.Result, error) {
 	if s.current == nil {
 		return nil, fmt.Errorf("session: no chain baseline (create the session with an initial snapshot)")
 	}
-	res, err := s.run(s.current, next, s.warm, s.warmSchema, s.opts.Workers)
+	res, err := s.run(ctx, s.current, next, s.warm, s.warmSchema, s.warmRatio, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	s.current = next
-	s.warm = res.Explanation.Funcs.Clone()
-	s.warmSchema = next.Schema()
+	if !res.Stats.Cancelled {
+		s.current = next
+		s.storeWarm(res, next.Schema())
+	}
 	s.runs++
 	return res, nil
 }
@@ -122,8 +165,8 @@ func (s *Session) ExplainNext(next *table.Table) (*search.Result, error) {
 // ExplainPair explains one pair over the shared dictionary pool without
 // touching the chain state. Safe to call concurrently; the result is
 // independent of whatever the pool already contains.
-func (s *Session) ExplainPair(source, target *table.Table) (*search.Result, error) {
-	res, err := s.run(source, target, nil, nil, s.opts.Workers)
+func (s *Session) ExplainPair(ctx context.Context, source, target *table.Table) (*search.Result, error) {
+	res, err := s.run(ctx, source, target, nil, nil, 0, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,18 +184,19 @@ func (s *Session) ExplainPair(source, target *table.Table) (*search.Result, erro
 // last-writer-wins, so interleaved warm runs may seed from either
 // predecessor; the explanation itself is unaffected (warm states only
 // reduce search effort for equal results on recurring patterns).
-func (s *Session) ExplainWarm(source, target *table.Table) (*search.Result, error) {
+func (s *Session) ExplainWarm(ctx context.Context, source, target *table.Table) (*search.Result, error) {
 	s.mu.Lock()
-	warm, warmSchema := s.warm, s.warmSchema
+	warm, warmSchema, prevRatio := s.warm, s.warmSchema, s.warmRatio
 	s.mu.Unlock()
-	res, err := s.run(source, target, warm, warmSchema, s.opts.Workers)
+	res, err := s.run(ctx, source, target, warm, warmSchema, prevRatio, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.warm = res.Explanation.Funcs.Clone()
-	s.warmSchema = source.Schema()
-	s.current = target
+	s.storeWarm(res, source.Schema())
+	if !res.Stats.Cancelled {
+		s.current = target
+	}
 	s.runs++
 	s.mu.Unlock()
 	return res, nil
@@ -163,9 +207,11 @@ func (s *Session) ExplainWarm(source, target *table.Table) (*search.Result, erro
 // Pairs may have different schemas; attributes sharing a name share a
 // dictionary. Results arrive in input order and are identical to
 // per-pair cold runs; when fanning out, each individual search runs on the
-// sequential engine so the batch owns the cores. Failed pairs leave nil
-// results; the joined error reports every failure.
-func (s *Session) ExplainBatch(pairs []Pair, workers int) ([]*search.Result, error) {
+// sequential engine so the batch owns the cores. Cancelling ctx interrupts
+// every in-flight pair (each returns its best-so-far result with
+// Stats.Cancelled set). Failed pairs leave nil results; the joined error
+// reports every failure.
+func (s *Session) ExplainBatch(ctx context.Context, pairs []Pair, workers int) ([]*search.Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -188,7 +234,7 @@ func (s *Session) ExplainBatch(pairs []Pair, workers int) ([]*search.Result, err
 				<-sem
 				wg.Done()
 			}()
-			res, err := s.run(p.Source, p.Target, nil, nil, inner)
+			res, err := s.run(ctx, p.Source, p.Target, nil, nil, 0, inner)
 			if err != nil {
 				errs[i] = fmt.Errorf("session: pair %d: %w", i, err)
 				return

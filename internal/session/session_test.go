@@ -1,6 +1,7 @@
 package session_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -83,7 +84,7 @@ func TestWarmChainMatchesColdWithFewerPolls(t *testing.T) {
 			ch := chain(t, name, 3, false)
 			s := session.New(ch.Snapshots[0], opts31(), nil)
 			for i := 1; i < len(ch.Snapshots); i++ {
-				warm, err := s.ExplainNext(ch.Snapshots[i])
+				warm, err := s.ExplainNext(context.Background(), ch.Snapshots[i])
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -94,7 +95,7 @@ func TestWarmChainMatchesColdWithFewerPolls(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				cold, err := search.Run(inst, opts31())
+				cold, err := search.Run(context.Background(), inst, opts31())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -128,7 +129,7 @@ func TestChainDeterminism(t *testing.T) {
 		s := session.New(ch.Snapshots[0], opts31(), nil)
 		var out []step
 		for i := 1; i < len(ch.Snapshots); i++ {
-			res, err := s.ExplainNext(ch.Snapshots[i])
+			res, err := s.ExplainNext(context.Background(), ch.Snapshots[i])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,7 +155,7 @@ func TestChainPermutedKeys(t *testing.T) {
 	s := session.New(ch.Snapshots[0], opts31(), nil)
 	var polls []int
 	for i := 1; i < len(ch.Snapshots); i++ {
-		res, err := s.ExplainNext(ch.Snapshots[i])
+		res, err := s.ExplainNext(context.Background(), ch.Snapshots[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,14 +178,14 @@ func TestChainPermutedKeys(t *testing.T) {
 func TestPoolReuse(t *testing.T) {
 	ch := chain(t, "bridges", 2, false)
 	s := session.New(ch.Snapshots[0], opts31(), nil)
-	if _, err := s.ExplainNext(ch.Snapshots[1]); err != nil {
+	if _, err := s.ExplainNext(context.Background(), ch.Snapshots[1]); err != nil {
 		t.Fatal(err)
 	}
 	before := s.Pool().Values()
 	if before == 0 {
 		t.Fatal("pool empty after first run")
 	}
-	if _, err := s.ExplainNext(ch.Snapshots[2]); err != nil {
+	if _, err := s.ExplainNext(context.Background(), ch.Snapshots[2]); err != nil {
 		t.Fatal(err)
 	}
 	grown := s.Pool().Values() - before
@@ -207,7 +208,7 @@ func TestExplainPairMatchesCold(t *testing.T) {
 	ch := chain(t, "echo", 2, true)
 	s := session.New(nil, opts31(), nil)
 	for i := 1; i < len(ch.Snapshots); i++ {
-		pooled, err := s.ExplainPair(ch.Snapshots[i-1], ch.Snapshots[i])
+		pooled, err := s.ExplainPair(context.Background(), ch.Snapshots[i-1], ch.Snapshots[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestExplainPairMatchesCold(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cold, err := search.Run(inst, opts31())
+		cold, err := search.Run(context.Background(), inst, opts31())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func TestExplainBatchConcurrent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cold, err := search.Run(inst, opts31())
+			cold, err := search.Run(context.Background(), inst, opts31())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -250,7 +251,7 @@ func TestExplainBatchConcurrent(t *testing.T) {
 		}
 	}
 	s := session.New(nil, opts31(), nil)
-	results, err := s.ExplainBatch(pairs, 8)
+	results, err := s.ExplainBatch(context.Background(), pairs, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestExplainBatchErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := session.New(nil, opts31(), nil)
-	results, err := s.ExplainBatch([]session.Pair{
+	results, err := s.ExplainBatch(context.Background(), []session.Pair{
 		{Source: ch.Snapshots[0], Target: ch.Snapshots[1]},
 		{Source: ch.Snapshots[0], Target: odd},
 	}, 2)
@@ -297,16 +298,16 @@ func TestExplainBatchErrors(t *testing.T) {
 func TestExplainNextNeedsBaseline(t *testing.T) {
 	ch := chain(t, "iris", 1, false)
 	s := session.New(nil, opts31(), nil)
-	if _, err := s.ExplainNext(ch.Snapshots[0]); err == nil {
+	if _, err := s.ExplainNext(context.Background(), ch.Snapshots[0]); err == nil {
 		t.Fatal("want error without a baseline")
 	}
-	if _, err := s.ExplainWarm(ch.Snapshots[0], ch.Snapshots[1]); err != nil {
+	if _, err := s.ExplainWarm(context.Background(), ch.Snapshots[0], ch.Snapshots[1]); err != nil {
 		t.Fatalf("ExplainWarm should set the baseline: %v", err)
 	}
 	if s.Current() != ch.Snapshots[1] {
 		t.Error("ExplainWarm should advance the chain head")
 	}
-	if _, err := s.ExplainNext(ch.Snapshots[1]); err != nil {
+	if _, err := s.ExplainNext(context.Background(), ch.Snapshots[1]); err != nil {
 		t.Fatalf("ExplainNext after ExplainWarm: %v", err)
 	}
 }
@@ -325,11 +326,11 @@ func TestConcurrentMixedUse(t *testing.T) {
 			var err error
 			switch g % 3 {
 			case 0:
-				_, err = s.ExplainPair(ch.Snapshots[0], ch.Snapshots[1])
+				_, err = s.ExplainPair(context.Background(), ch.Snapshots[0], ch.Snapshots[1])
 			case 1:
-				_, err = s.ExplainWarm(ch.Snapshots[1], ch.Snapshots[2])
+				_, err = s.ExplainWarm(context.Background(), ch.Snapshots[1], ch.Snapshots[2])
 			case 2:
-				_, err = s.ExplainBatch([]session.Pair{
+				_, err = s.ExplainBatch(context.Background(), []session.Pair{
 					{Source: ch.Snapshots[0], Target: ch.Snapshots[2]},
 				}, 2)
 			}
@@ -339,4 +340,105 @@ func TestConcurrentMixedUse(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestSessionWarmGuardEscalation drives a session whose chain breaks
+// mid-stream: after two recurring steps, the next snapshot comes from a
+// structurally different chain over the same table. With the guard armed,
+// the session escalates that step to a cold search (WarmEscalated) while
+// the recurring steps keep the incremental path.
+func TestSessionWarmGuardEscalation(t *testing.T) {
+	chA := chain(t, "bridges", 2, false)
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chB, err := gen.MakeChain(tab, gen.ChainConfig{Steps: 1, Eta: 0.1, Tau: 0.5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := opts31()
+	opts.WarmGuard = 2
+	s := session.New(chA.Snapshots[0], opts, nil)
+	for i := 1; i < len(chA.Snapshots); i++ {
+		res, err := s.ExplainNext(context.Background(), chA.Snapshots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.WarmEscalated {
+			t.Fatalf("step %d: guard escalated on the recurring chain", i)
+		}
+	}
+	broken, err := s.ExplainNext(context.Background(), chB.Snapshots[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken.Stats.WarmEscalated {
+		t.Fatal("guard did not escalate when the chain's structure broke")
+	}
+	if err := broken.Explanation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The escalated run equals a cold run over the same pooled instance.
+	inst, err := delta.NewInstanceWithDicts(chA.Snapshots[2], chB.Snapshots[1], nil,
+		s.Pool().DictsFor(chA.Snapshots[2].Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := search.Run(context.Background(), inst, opts31())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExplanation(t, "escalated", broken, cold)
+}
+
+// TestSessionCancelledRunLeavesChainIntact: a chain step interrupted by
+// its context must neither advance the chain head nor poison the warm
+// seed — the interrupted step stays explainable, and retrying it produces
+// exactly what an uninterrupted chain would have.
+func TestSessionCancelledRunLeavesChainIntact(t *testing.T) {
+	ch := chain(t, "bridges", 3, false)
+	s := session.New(ch.Snapshots[0], opts31(), nil)
+	if _, err := s.ExplainNext(context.Background(), ch.Snapshots[1]); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	res, err := s.ExplainNext(cancelled, ch.Snapshots[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Cancelled {
+		t.Fatal("cancelled context did not tag the run")
+	}
+	if err := res.Explanation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != ch.Snapshots[1] {
+		t.Fatal("cancelled run advanced the chain head past the unexplained step")
+	}
+	// Retrying the interrupted step — and the step after it — matches an
+	// uninterrupted reference chain exactly.
+	ref := session.New(ch.Snapshots[0], opts31(), nil)
+	if _, err := ref.ExplainNext(context.Background(), ch.Snapshots[1]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(ch.Snapshots); i++ {
+		got, err := s.ExplainNext(context.Background(), ch.Snapshots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.Cancelled {
+			t.Fatalf("step %d: uncancelled step tagged cancelled", i)
+		}
+		want, err := ref.ExplainNext(context.Background(), ch.Snapshots[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameExplanation(t, fmt.Sprintf("retried step %d", i), got, want)
+	}
 }

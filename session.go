@@ -1,6 +1,8 @@
 package affidavit
 
 import (
+	"context"
+
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
 	"affidavit/internal/session"
@@ -28,7 +30,14 @@ type Pair struct {
 // of the effort, but they anchor on the previous structure, so when the
 // feed's pattern changes the result — always a valid explanation — may
 // differ from a cold run's. Use Explain (or ExplainPair) when cold-search
-// behaviour is required.
+// behaviour is required, or arm Options.WarmGuard to have stale warm seeds
+// escalate to a cold search automatically.
+//
+// Every method has a Context form (ExplainNextContext and friends) that
+// honours cancellation and deadlines: an interrupted run still returns a
+// valid best-so-far result with Stats.Cancelled set, and the session skips
+// storing an interrupted run's tuple as the next warm seed. The plain
+// forms are the Context forms under context.Background().
 type Session struct {
 	inner   *session.Session
 	alpha   float64
@@ -57,7 +66,14 @@ func NewSession(initial *Table, opts Options) *Session {
 // seeds: re-running the same chain reproduces every explanation and every
 // search statistic.
 func (s *Session) ExplainNext(next *Table) (*Result, error) {
-	res, err := s.inner.ExplainNext(next)
+	return s.ExplainNextContext(context.Background(), next)
+}
+
+// ExplainNextContext is ExplainNext under ctx: cancellation and deadlines
+// interrupt the search cooperatively, returning the best-so-far result
+// with Stats.Cancelled set.
+func (s *Session) ExplainNextContext(ctx context.Context, next *Table) (*Result, error) {
+	res, err := s.inner.ExplainNext(ctx, next)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +83,12 @@ func (s *Session) ExplainNext(next *Table) (*Result, error) {
 // ExplainPair explains one pair over the session's shared dictionary pool
 // without touching the chain state. Safe to call concurrently.
 func (s *Session) ExplainPair(source, target *Table) (*Result, error) {
-	res, err := s.inner.ExplainPair(source, target)
+	return s.ExplainPairContext(context.Background(), source, target)
+}
+
+// ExplainPairContext is ExplainPair under ctx.
+func (s *Session) ExplainPairContext(ctx context.Context, source, target *Table) (*Result, error) {
+	res, err := s.inner.ExplainPair(ctx, source, target)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +102,12 @@ func (s *Session) ExplainPair(source, target *Table) (*Result, error) {
 // race-clean; the stored warm tuple is last-writer-wins, which affects only
 // search effort, never the explanation.
 func (s *Session) ExplainWarm(source, target *Table) (*Result, error) {
-	res, err := s.inner.ExplainWarm(source, target)
+	return s.ExplainWarmContext(context.Background(), source, target)
+}
+
+// ExplainWarmContext is ExplainWarm under ctx.
+func (s *Session) ExplainWarmContext(ctx context.Context, source, target *Table) (*Result, error) {
+	res, err := s.inner.ExplainWarm(ctx, source, target)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +120,13 @@ func (s *Session) ExplainWarm(source, target *Table) (*Result, error) {
 // equal per-pair cold runs. Failed pairs leave nil entries; the returned
 // error joins every failure.
 func (s *Session) ExplainBatch(pairs []Pair) ([]*Result, error) {
+	return s.ExplainBatchContext(context.Background(), pairs)
+}
+
+// ExplainBatchContext is ExplainBatch under ctx: cancelling ctx interrupts
+// every in-flight pair, each returning its best-so-far result with
+// Stats.Cancelled set.
+func (s *Session) ExplainBatchContext(ctx context.Context, pairs []Pair) ([]*Result, error) {
 	inner := make([]session.Pair, len(pairs))
 	for i, p := range pairs {
 		inner[i] = session.Pair{Source: p.Source, Target: p.Target}
@@ -102,7 +135,7 @@ func (s *Session) ExplainBatch(pairs []Pair) ([]*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	raw, err := s.inner.ExplainBatch(inner, workers)
+	raw, err := s.inner.ExplainBatch(ctx, inner, workers)
 	out := make([]*Result, len(raw))
 	for i, r := range raw {
 		if r != nil {
