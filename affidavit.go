@@ -13,13 +13,18 @@
 //
 // Quickstart:
 //
-//	src, _ := affidavit.ReadCSVFile("before.csv")
-//	tgt, _ := affidavit.ReadCSVFile("after.csv")
-//	res, err := affidavit.Explain(src, tgt, affidavit.DefaultOptions())
+//	ex, _ := affidavit.New(affidavit.WithWorkers(8))
+//	res, err := ex.ExplainFiles(ctx, "before.csv", "after.csv")
 //	if err != nil { ... }
 //	fmt.Println(res.Report())          // what changed, as functions
 //	fmt.Println(res.SQL("my_table"))   // executable migration script
 //	out := res.Transform(unseenRecord) // generalises to unseen records
+//
+// The Explainer is the package's front door: construct one from functional
+// options (WithAlpha, WithWorkers, WithObserver, …), then reuse it for
+// explanations, streamed Sources, and Sessions. The flat Options struct and
+// the Explain/ExplainCSV entry points below predate it and remain as thin
+// compatibility shims with their historical zero-value semantics.
 package affidavit
 
 import (
@@ -76,8 +81,12 @@ const (
 	StartEmpty = search.StartEmpty
 )
 
-// Options configures Explain. Zero value fields fall back to the defaults
-// of DefaultOptions.
+// Options configures the legacy Explain entry points. Zero value fields
+// fall back to the defaults of DefaultOptions — which makes explicit
+// Alpha = 0 or Theta = 0 inexpressible here; the Explainer's functional
+// options (WithAlpha, WithTheta, …) do not share that wart. New code
+// should construct an Explainer; Options remains supported and maps onto
+// it via FromOptions.
 type Options struct {
 	// Alpha weighs unexplained records against function complexity in the
 	// MDL cost 2α·L(T+) + 2(1−α)·L(F). Default 0.5.
@@ -196,26 +205,17 @@ func Explain(source, target *Table, opts Options) (*Result, error) {
 // the best explanation found so far (always valid) with Stats.Cancelled
 // set, so callers on a deadline keep the partial work and can distinguish
 // complete from interrupted results.
+//
+// ExplainContext is a compatibility shim over the Explainer front-end:
+// it behaves exactly like New(FromOptions(opts)) followed by Explain,
+// minus the eager validation (configuration errors surface here, from the
+// run, as they always did).
 func ExplainContext(ctx context.Context, source, target *Table, opts Options) (*Result, error) {
-	metas := metafunc.DefaultMetas()
-	metas = append(metas, opts.ExtraMetas...)
-	inst, err := delta.NewInstance(source, target, metas)
-	if err != nil {
-		return nil, err
+	e := &Explainer{
+		so:    opts.toSearch(),
+		metas: append(metafunc.DefaultMetas(), opts.ExtraMetas...),
 	}
-	so := opts.toSearch()
-	res, err := search.Run(ctx, inst, so)
-	if err != nil {
-		return nil, err
-	}
-	cm := delta.CostModel{Alpha: so.Alpha}
-	return &Result{
-		Explanation: res.Explanation,
-		Cost:        res.Cost,
-		TrivialCost: cm.Cost(delta.Trivial(inst)),
-		Stats:       res.Stats,
-		alpha:       so.Alpha,
-	}, nil
+	return e.Explain(ctx, source, target)
 }
 
 // ExplainCSV reads two CSV files (header row = schema) and explains their

@@ -9,7 +9,13 @@
 // The report lists the learned per-attribute transformation functions, the
 // aligned core, and the records explained as deleted/inserted. With -sql a
 // migration script is printed; with -diff N the first N aligned records are
-// shown as before/after views.
+// shown as before/after views; with -json the result is emitted in the
+// same stable encoding affidavitd serves; with -progress the pipeline
+// narrates ingest and search progress on stderr.
+//
+// Snapshots are streamed: each CSV is interned into the columnar backend
+// row by row, so memory is bounded by the distinct values, not the file
+// sizes.
 package main
 
 import (
@@ -18,29 +24,21 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 	"syscall"
 
 	"affidavit"
+	"affidavit/internal/cliutil"
 )
 
 func main() {
 	var (
-		source   = flag.String("source", "", "source snapshot CSV (required)")
-		target   = flag.String("target", "", "target snapshot CSV (required)")
-		start    = flag.String("start", "hid", "start strategy: hid | hs | empty")
-		alpha    = flag.Float64("alpha", 0.5, "cost parameter α in [0,1]")
-		beta     = flag.Int("beta", 0, "branching factor β (0 = config default)")
-		rho      = flag.Int("rho", 0, "queue width ϱ (0 = config default)")
-		theta    = flag.Float64("theta", 0.1, "estimated effect fraction θ")
-		conf     = flag.Float64("conf", 0.95, "sampling confidence ρ")
-		maxBlock = flag.Int("max-block", 100000, "overlap-matching block threshold (hs)")
-		seed     = flag.Int64("seed", 0, "random seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
-		sqlName  = flag.String("sql", "", "emit a migration script for this table name")
-		diff     = flag.Int("diff", 0, "show the first N aligned records as before/after")
+		source  = flag.String("source", "", "source snapshot CSV (required)")
+		target  = flag.String("target", "", "target snapshot CSV (required)")
+		sqlName = flag.String("sql", "", "emit a migration script for this table name")
+		diff    = flag.Int("diff", 0, "show the first N aligned records as before/after")
+		asJSON  = flag.Bool("json", false, "emit the stable JSON encoding (explanation, SQL, stats) instead of the text report")
 	)
+	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{})
 	flag.Parse()
 	if *source == "" || *target == "" {
 		fmt.Fprintln(os.Stderr, "affidavit: -source and -target are required")
@@ -48,38 +46,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	var opts affidavit.Options
-	switch strings.ToLower(*start) {
-	case "hid":
-		opts = affidavit.DefaultOptions()
-	case "hs":
-		opts = affidavit.OverlapOptions()
-	case "empty":
-		opts = affidavit.DefaultOptions()
-		opts.Start = affidavit.StartEmpty
-	default:
-		fmt.Fprintf(os.Stderr, "affidavit: unknown start strategy %q\n", *start)
+	ex, err := cfg.Explainer(affidavit.WithObserver(cfg.ProgressObserver()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affidavit:", err)
 		os.Exit(2)
 	}
-	opts.Alpha = *alpha
-	if *beta > 0 {
-		opts.Beta = *beta
-	}
-	if *rho > 0 {
-		opts.QueueWidth = *rho
-	}
-	opts.Theta = *theta
-	opts.Rho = *conf
-	opts.MaxBlockSize = *maxBlock
-	opts.Seed = *seed
-	opts.Workers = *workers
 
 	// Ctrl-C cancels the search cooperatively: the run stops within about
 	// one poll instead of dying mid-write, and we exit non-zero below.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := affidavit.ExplainCSVContext(ctx, *source, *target, opts)
+	res, err := ex.ExplainFiles(ctx, *source, *target)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavit:", err)
 		os.Exit(1)
@@ -88,11 +66,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "affidavit: cancelled (interrupt received); partial result discarded")
 		os.Exit(1)
 	}
+	if *asJSON {
+		out, err := res.JSON(*sqlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "affidavit:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		return
+	}
 	fmt.Print(res.Report())
 	fmt.Printf("search: %d polls, %d states costed, %v\n",
 		res.Stats.Polls, res.Stats.StatesGenerated, res.Stats.Duration.Round(1e6))
+	// Empty snapshots explain for free (cost 0 of trivial 0); guard the
+	// ratio like the JSON encoding does.
+	compression := 0.0
+	if res.TrivialCost > 0 {
+		compression = 100 * res.Cost / res.TrivialCost
+	}
 	fmt.Printf("compression: cost %g vs trivial %g (%.0f%%)\n",
-		res.Cost, res.TrivialCost, 100*res.Cost/res.TrivialCost)
+		res.Cost, res.TrivialCost, compression)
 	if *diff > 0 {
 		fmt.Println()
 		fmt.Print(res.Diff(*diff))

@@ -12,11 +12,16 @@
 // Endpoints:
 //
 //	POST /explain   multipart upload: files "source" and "target" (CSV,
-//	                first row = header); optional values "table" (session
-//	                key, default "table"), "format" (json | sql | text),
-//	                "warm" ("1" = chain mode: warm-start from the table's
-//	                previous explanation and store the new one)
+//	                first row = header), streamed record-by-record into the
+//	                interned columnar backend — snapshots are never
+//	                buffered whole, so uploads beyond the historical
+//	                -max-upload cap are fine; optional values "table"
+//	                (session key, default "table"), "format" (json | sql |
+//	                text), "warm" ("1" = chain mode: warm-start from the
+//	                table's previous explanation and store the new one)
 //	GET  /stats     per-table session counters + eviction totals
+//	GET  /metrics   Prometheus-style pipeline counters (ingest volume,
+//	                cold/warm/escalated runs, polls, conversions)
 //	GET  /healthz   liveness probe
 //
 // Operating knobs:
@@ -25,6 +30,12 @@
 //	               answers 503 with the partial search statistics
 //	-max-sessions  LRU cap on retained per-table sessions
 //	-session-ttl   idle sessions are evicted past this age
+//	-max-upload    cap on each non-file form value, in MiB (file parts
+//	               stream and are not byte-bounded)
+//	-max-records   cap on each streamed snapshot's record count — the
+//	               memory guard now that uploads stream (default 10M)
+//	-max-snapshot  cap on each streamed snapshot's raw bytes, in MiB —
+//	               catches few-records-huge-fields bodies (default 1024)
 //
 // SIGINT/SIGTERM cancel in-flight explanations cooperatively and shut the
 // listener down gracefully.
@@ -44,75 +55,54 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"strings"
 	"syscall"
 	"time"
 
 	"affidavit"
+	"affidavit/internal/cliutil"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		start       = flag.String("start", "hid", "start strategy: hid | hs | empty")
-		alpha       = flag.Float64("alpha", 0.5, "cost parameter α in [0,1]")
-		beta        = flag.Int("beta", 0, "branching factor β (0 = config default)")
-		rho         = flag.Int("rho", 0, "queue width ϱ (0 = config default)")
-		theta       = flag.Float64("theta", 0.1, "estimated effect fraction θ")
-		conf        = flag.Float64("conf", 0.95, "sampling confidence ρ")
-		maxBlock    = flag.Int("max-block", 100000, "overlap-matching block threshold (hs)")
-		seed        = flag.Int64("seed", 0, "random seed (equal seeds give equal explanations)")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes per request (1 = sequential engine)")
 		warmGuard   = flag.Float64("warm-guard", 0, "warm-start quality guard factor (0 = disabled; e.g. 3 escalates to a cold search when the warm seed costs 3× the previous compression ratio)")
-		maxUpload   = flag.Int64("max-upload", 64, "largest accepted upload in MiB")
+		maxUpload   = flag.Int64("max-upload", 1, "largest accepted non-file form value in MiB (file parts stream chunk-by-chunk and are not byte-bounded; see -max-records)")
+		maxRecords  = flag.Int("max-records", 0, "largest accepted snapshot in records (0 = default 10M, negative = unlimited)")
+		maxSnapshot = flag.Int64("max-snapshot", 0, "largest accepted snapshot in MiB (0 = default 1024, negative = unlimited)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent /explain requests (0 = unlimited)")
 		timeout     = flag.Duration("timeout", 0, "per-request explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
 		maxSessions = flag.Int("max-sessions", 0, "retained per-table sessions (0 = unlimited; excess evicts least-recently-used)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "idle session lifetime (0 = sessions never expire)")
 	)
+	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{})
 	flag.Parse()
 
-	var opts affidavit.Options
-	switch strings.ToLower(*start) {
-	case "hid":
-		opts = affidavit.DefaultOptions()
-	case "hs":
-		opts = affidavit.OverlapOptions()
-	case "empty":
-		opts = affidavit.DefaultOptions()
-		opts.Start = affidavit.StartEmpty
-	default:
-		fmt.Fprintf(os.Stderr, "affidavitd: unknown start strategy %q\n", *start)
+	options, err := cfg.Options(affidavit.WithWarmGuard(*warmGuard))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affidavitd:", err)
 		os.Exit(2)
 	}
-	opts.Alpha = *alpha
-	if *beta > 0 {
-		opts.Beta = *beta
-	}
-	if *rho > 0 {
-		opts.QueueWidth = *rho
-	}
-	opts.Theta = *theta
-	opts.Rho = *conf
-	opts.MaxBlockSize = *maxBlock
-	opts.Seed = *seed
-	opts.Workers = *workers
-	opts.WarmGuard = *warmGuard
 
 	// SIGINT/SIGTERM cancel this context; every request context derives
 	// from it (BaseContext), so in-flight searches stop cooperatively.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := newServer(serverConfig{
-		opts:        opts,
-		maxUpload:   *maxUpload << 20,
-		maxInflight: *maxInflight,
-		timeout:     *timeout,
-		maxSessions: *maxSessions,
-		sessionTTL:  *sessionTTL,
+	srv, err := newServer(serverConfig{
+		options:          options,
+		observer:         cfg.ProgressObserver(),
+		maxUpload:        *maxUpload << 20,
+		maxRecords:       *maxRecords,
+		maxSnapshotBytes: *maxSnapshot << 20,
+		maxInflight:      *maxInflight,
+		timeout:          *timeout,
+		maxSessions:      *maxSessions,
+		sessionTTL:       *sessionTTL,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affidavitd:", err)
+		os.Exit(2)
+	}
 	if *sessionTTL > 0 {
 		go srv.janitor(ctx)
 	}
@@ -125,7 +115,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "affidavitd: listening on %s (workers=%d timeout=%v max-sessions=%d session-ttl=%v)\n",
-		*addr, *workers, *timeout, *maxSessions, *sessionTTL)
+		*addr, *cfg.Workers, *timeout, *maxSessions, *sessionTTL)
 
 	select {
 	case <-ctx.Done():

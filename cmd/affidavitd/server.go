@@ -4,21 +4,52 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"affidavit"
-	"affidavit/internal/delta"
-	"affidavit/internal/report"
 )
+
+// maxFieldBytes caps each non-file multipart value (table name, format,
+// warm flag). File parts are never buffered — they stream straight into
+// the interned columnar backend — so this is the only per-part memory
+// bound the server needs.
+const maxFieldBytes = 1 << 20
+
+// maxFormFields bounds how many non-file parts one upload may carry.
+const maxFormFields = 64
 
 // serverConfig bundles the service knobs so tests and main construct the
 // server the same way.
 type serverConfig struct {
-	opts        affidavit.Options
-	maxUpload   int64
+	// options construct the server's Explainer — the one shared
+	// configuration path for every explanation the service runs. Do not
+	// include WithObserver here (newServer attaches the /metrics observer
+	// last and would shadow it); pass extra observers via observer.
+	options []affidavit.Option
+	// observer, when non-nil, receives pipeline events alongside the
+	// server's own MetricsObserver (e.g. the -progress narrator).
+	observer affidavit.Observer
+	// maxUpload caps each buffered non-file form value in bytes; 0 means
+	// maxFieldBytes. File parts stream and are deliberately NOT bounded by
+	// it: uploads larger than the historical -max-upload are explained
+	// chunk-by-chunk without whole-snapshot buffering.
+	maxUpload int64
+	// maxRecords caps each streamed snapshot's record count; 0 means the
+	// default of 10 million. Streaming removed the whole-body byte cap, so
+	// this is one of the two guards against an endless (or hostile
+	// high-cardinality) upload interning until OOM; set it to what the
+	// deployment's memory can intern. Negative means unlimited.
+	maxRecords int
+	// maxSnapshotBytes caps each streamed snapshot's raw byte volume — the
+	// companion guard to maxRecords, catching few-records-huge-fields
+	// bodies that a record count cannot. 0 means the default of 1 GiB;
+	// negative means unlimited.
+	maxSnapshotBytes int64
+	// maxInflight bounds concurrent /explain requests; 0 = unlimited.
 	maxInflight int
 	// timeout bounds each /explain request's explanation work; 0 means
 	// unlimited. On expiry the request answers 503 with the partial search
@@ -41,9 +72,14 @@ type serverConfig struct {
 // gets cheaper as the service runs. Sessions are bounded two ways — an LRU
 // cap on their count and a TTL on their idleness — so an unbounded stream
 // of distinct table names can no longer grow the dictionary pools forever.
+//
+// Every session derives from one Explainer, whose observer feeds the
+// Prometheus-style /metrics endpoint: ingest volume, run modes
+// (cold/warm/escalated), poll and conversion counters.
 type server struct {
 	cfg         serverConfig
-	alpha       float64
+	ex          *affidavit.Explainer
+	metrics     *affidavit.MetricsObserver
 	maxInflight chan struct{} // nil = unlimited
 
 	mu       sync.Mutex
@@ -57,23 +93,35 @@ type sessionEntry struct {
 	lastUse time.Time
 }
 
-func newServer(cfg serverConfig) *server {
-	alpha := cfg.opts.Alpha
-	if alpha == 0 {
-		alpha = affidavit.DefaultOptions().Alpha
-	}
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.maxUpload <= 0 {
+		cfg.maxUpload = maxFieldBytes
+	}
+	if cfg.maxRecords == 0 {
+		cfg.maxRecords = 10_000_000
+	}
+	if cfg.maxSnapshotBytes == 0 {
+		cfg.maxSnapshotBytes = 1 << 30
+	}
+	metrics := affidavit.NewMetricsObserver()
+	ex, err := affidavit.New(append(append([]affidavit.Option{}, cfg.options...),
+		affidavit.WithObserver(affidavit.Observers(metrics, cfg.observer)))...)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		cfg:      cfg,
-		alpha:    alpha,
+		ex:       ex,
+		metrics:  metrics,
 		sessions: make(map[string]*sessionEntry),
 	}
 	if cfg.maxInflight > 0 {
 		s.maxInflight = make(chan struct{}, cfg.maxInflight)
 	}
-	return s
+	return s, nil
 }
 
 // session returns the named table's session, creating it on first use and
@@ -102,7 +150,7 @@ func (s *server) session(table string) *affidavit.Session {
 			s.evicted++
 		}
 	}
-	e := &sessionEntry{sess: affidavit.NewSession(nil, s.cfg.opts), lastUse: now}
+	e := &sessionEntry{sess: s.ex.Session(nil), lastUse: now}
 	s.sessions[table] = e
 	return e.sess
 }
@@ -154,6 +202,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.metrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -161,49 +210,132 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// explainStats is the deterministic subset of search statistics: wall time
-// is deliberately omitted so identical inputs produce byte-identical
-// responses.
-type explainStats struct {
-	Polls           int  `json:"polls"`
-	StatesGenerated int  `json:"states_generated"`
-	Enqueued        int  `json:"enqueued"`
-	Evicted         int  `json:"evicted"`
-	StartLevel      int  `json:"start_level"`
-	WarmEscalated   bool `json:"warm_escalated,omitempty"`
-}
-
-func toExplainStats(st affidavit.Stats) explainStats {
-	return explainStats{
-		Polls:           st.Polls,
-		StatesGenerated: st.StatesGenerated,
-		Enqueued:        st.Enqueued,
-		Evicted:         st.Evicted,
-		StartLevel:      st.StartLevel,
-		WarmEscalated:   st.WarmEscalated,
-	}
-}
-
-type explainResponse struct {
-	Table       string                 `json:"table"`
-	Explanation report.JSONExplanation `json:"explanation"`
-	SQL         string                 `json:"sql"`
-	Cost        float64                `json:"cost"`
-	TrivialCost float64                `json:"trivial_cost"`
-	Compression float64                `json:"compression"`
-	Stats       explainStats           `json:"stats"`
-}
-
 // deadlineResponse is the 503 body: the request ran out of budget, and
 // these are the statistics of the work done before the cut.
 type deadlineResponse struct {
-	Error string       `json:"error"`
-	Table string       `json:"table"`
-	Stats explainStats `json:"stats"`
+	Error string              `json:"error"`
+	Table string              `json:"table"`
+	Stats affidavit.JSONStats `json:"stats"`
+}
+
+// limitRecords bounds a streamed snapshot's record count (max ≤ 0 means
+// unlimited) — the daemon's backstop against uploads that would intern
+// until OOM now that file parts have no byte cap.
+func limitRecords(src affidavit.Source, max int) affidavit.Source {
+	if max <= 0 {
+		return src
+	}
+	return &limitedSource{Source: src, left: max}
+}
+
+type limitedSource struct {
+	affidavit.Source
+	left int
+}
+
+// cappedReader errors once more than max bytes flow through it — unlike
+// io.LimitReader, which would silently truncate the snapshot at the cap.
+// max ≤ 0 passes the reader through unbounded.
+func cappedReader(r io.Reader, max int64) io.Reader {
+	if max <= 0 {
+		return r
+	}
+	return &byteCap{r: r, left: max}
+}
+
+type byteCap struct {
+	r    io.Reader
+	left int64
+}
+
+func (c *byteCap) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	if c.left < 0 {
+		return n, fmt.Errorf("snapshot exceeds the byte limit (-max-snapshot)")
+	}
+	return n, err
+}
+
+func (l *limitedSource) Next() (affidavit.Record, error) {
+	rec, err := l.Source.Next()
+	if err != nil {
+		return nil, err
+	}
+	// Reject only when a real record arrives past the cap, so a snapshot
+	// of exactly max records still ends in a clean EOF.
+	if l.left <= 0 {
+		return nil, fmt.Errorf("snapshot exceeds the record limit (-max-records)")
+	}
+	l.left--
+	return rec, nil
+}
+
+// readUpload streams the multipart body: the "source" and "target" file
+// parts are interned into the columnar backend as they arrive (never
+// buffered as [][]string, and not bounded by -max-upload), other parts are
+// collected as small form values. Parts may arrive in any order.
+func (s *server) readUpload(ctx context.Context, r *http.Request) (src, tgt *affidavit.Table, form map[string]string, err error) {
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("parsing upload: %w", err)
+	}
+	form = make(map[string]string)
+	for {
+		part, perr := mr.NextPart()
+		if perr == io.EOF {
+			break
+		}
+		if perr != nil {
+			return nil, nil, nil, fmt.Errorf("parsing upload: %w", perr)
+		}
+		name := part.FormName()
+		switch name {
+		case "source", "target":
+			csvPart := affidavit.NewCSVSource(cappedReader(part, s.cfg.maxSnapshotBytes))
+			tab, rerr := s.ex.ReadSourceNamed(ctx, limitRecords(csvPart, s.cfg.maxRecords), name)
+			part.Close()
+			if rerr != nil {
+				return nil, nil, nil, fmt.Errorf("reading %q file: %w", name, rerr)
+			}
+			if name == "source" {
+				src = tab
+			} else {
+				tgt = tab
+			}
+		default:
+			// Bound both each field's size and the field count, so a body
+			// of endless small parts cannot grow the form map without
+			// limit.
+			if len(form) >= maxFormFields {
+				return nil, nil, nil, fmt.Errorf("too many form fields (limit %d)", maxFormFields)
+			}
+			limit := s.cfg.maxUpload
+			b, rerr := io.ReadAll(io.LimitReader(part, limit+1))
+			part.Close()
+			if rerr != nil {
+				return nil, nil, nil, fmt.Errorf("reading field %q: %w", name, rerr)
+			}
+			if int64(len(b)) > limit {
+				return nil, nil, nil, fmt.Errorf("field %q exceeds %d bytes", name, limit)
+			}
+			form[name] = string(b)
+		}
+	}
+	if src == nil {
+		return nil, nil, nil, fmt.Errorf("missing %q file", "source")
+	}
+	if tgt == nil {
+		return nil, nil, nil, fmt.Errorf("missing %q file", "target")
+	}
+	return src, tgt, form, nil
 }
 
 // handleExplain serves POST /explain: a multipart upload with CSV files
-// "source" and "target" (first row = header). Optional form/query values:
+// "source" and "target" (first row = header), streamed record-by-record
+// into the interned backend — snapshots larger than memory-sized buffers
+// are fine, because only distinct values and 4-byte codes are retained.
+// Optional form/query values:
 //
 //	table   session key and SQL table name (default "table")
 //	format  json (default) | sql | text
@@ -228,7 +360,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if s.maxInflight != nil {
 		// Wait for a slot under the request context: a client that
 		// disconnects (or times out) while queued must not consume a slot
-		// and pay the upload parse for an answer nobody reads.
+		// and pay the upload ingest for an answer nobody reads.
 		select {
 		case s.maxInflight <- struct{}{}:
 			defer func() { <-s.maxInflight }()
@@ -237,37 +369,30 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxUpload)
-	if err := r.ParseMultipartForm(s.cfg.maxUpload); err != nil {
-		http.Error(w, fmt.Sprintf("parsing upload: %v", err), http.StatusBadRequest)
-		return
-	}
-	defer r.MultipartForm.RemoveAll()
-	read := func(field string) (*affidavit.Table, error) {
-		f, _, err := r.FormFile(field)
-		if err != nil {
-			return nil, fmt.Errorf("missing %q file: %w", field, err)
+	src, tgt, form, err := s.readUpload(ctx, r)
+	if err != nil {
+		if ctx.Err() != nil {
+			http.Error(w, "request expired during upload ingest", http.StatusServiceUnavailable)
+			return
 		}
-		defer f.Close()
-		return affidavit.ReadCSV(f)
-	}
-	src, err := read("source")
-	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	tgt, err := read("target")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	// Query values win over form parts, so ?table=x works regardless of
+	// part order.
+	value := func(k string) string {
+		if v := r.URL.Query().Get(k); v != "" {
+			return v
+		}
+		return form[k]
 	}
-	table := r.FormValue("table")
+	table := value("table")
 	if table == "" {
 		table = "table"
 	}
 	sess := s.session(table)
 	var res *affidavit.Result
-	if r.FormValue("warm") == "1" {
+	if value("warm") == "1" {
 		res, err = sess.ExplainWarmContext(ctx, src, tgt)
 	} else {
 		res, err = sess.ExplainPairContext(ctx, src, tgt)
@@ -277,6 +402,8 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.Stats.Cancelled {
+		st := affidavit.StatsJSON(res.Stats)
+		st.Cancelled = false // the 503 body's error field already says it
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		enc := json.NewEncoder(w)
@@ -284,34 +411,21 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(deadlineResponse{
 			Error: "deadline exceeded before the explanation finished",
 			Table: table,
-			Stats: toExplainStats(res.Stats),
+			Stats: st,
 		})
 		return
 	}
 
-	switch r.FormValue("format") {
+	switch value("format") {
 	case "", "json":
-		// Guard the ratio: empty snapshots explain for free (cost 0 of
-		// trivial 0) and NaN is not encodable as JSON.
-		compression := 0.0
-		if res.TrivialCost > 0 {
-			compression = res.Cost / res.TrivialCost
-		}
-		resp := explainResponse{
-			Table:       table,
-			Explanation: report.ToJSON(res.Explanation, delta.CostModel{Alpha: s.alpha}),
-			SQL:         res.SQL(table),
-			Cost:        res.Cost,
-			TrivialCost: res.TrivialCost,
-			Compression: compression,
-			Stats:       toExplainStats(res.Stats),
+		out, err := res.JSON(table)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(resp); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		w.Write(out)
+		w.Write([]byte("\n"))
 	case "sql":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, res.SQL(table))
@@ -319,7 +433,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, res.Report())
 	default:
-		http.Error(w, fmt.Sprintf("unknown format %q", r.FormValue("format")), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("unknown format %q", value("format")), http.StatusBadRequest)
 	}
 }
 

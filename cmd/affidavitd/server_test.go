@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"mime/multipart"
 	"net/http"
@@ -18,11 +19,24 @@ import (
 	"affidavit/internal/table"
 )
 
+// testOptions is the shared explainer construction for server tests.
+func testOptions() []affidavit.Option {
+	return []affidavit.Option{affidavit.WithSeed(31)}
+}
+
+// mustServer builds a server or fails the test.
+func mustServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 31
-	srv := httptest.NewServer(newServer(serverConfig{opts: opts, maxUpload: 16 << 20}).handler())
+	srv := httptest.NewServer(mustServer(t, serverConfig{options: testOptions()}).handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -102,7 +116,7 @@ func TestExplainEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	var resp explainResponse
+	var resp affidavit.JSONResult
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
@@ -218,7 +232,7 @@ func TestWarmChainViaService(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("step %d: status %d: %s", i, code, body)
 		}
-		var resp explainResponse
+		var resp affidavit.JSONResult
 		if err := json.Unmarshal(body, &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -256,7 +270,7 @@ func TestExplainEmptySnapshots(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, body)
 	}
-	var resp explainResponse
+	var resp affidavit.JSONResult
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
@@ -281,12 +295,9 @@ func TestHealthz(t *testing.T) {
 // exhausted answers 503 Service Unavailable with the partial (here: empty)
 // search statistics instead of hanging or 500ing.
 func TestExplainDeadline503(t *testing.T) {
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 31
-	srv := httptest.NewServer(newServer(serverConfig{
-		opts:      opts,
-		maxUpload: 16 << 20,
-		timeout:   time.Nanosecond,
+	srv := httptest.NewServer(mustServer(t, serverConfig{
+		options: testOptions(),
+		timeout: time.Nanosecond,
 	}).handler())
 	t.Cleanup(srv.Close)
 
@@ -323,9 +334,8 @@ func (c *fakeClock) now() time.Time {
 // a session refreshes its clock.
 func TestSessionTTLEviction(t *testing.T) {
 	clk := &fakeClock{at: time.Unix(1000, 0)}
-	s := newServer(serverConfig{
-		opts:       affidavit.DefaultOptions(),
-		maxUpload:  16 << 20,
+	s := mustServer(t, serverConfig{
+		options:    testOptions(),
 		sessionTTL: time.Minute,
 		now:        clk.now,
 	})
@@ -356,9 +366,8 @@ func TestSessionTTLEviction(t *testing.T) {
 // session when a new table arrives.
 func TestSessionLRUCap(t *testing.T) {
 	clk := &fakeClock{at: time.Unix(2000, 0)}
-	s := newServer(serverConfig{
-		opts:        affidavit.DefaultOptions(),
-		maxUpload:   16 << 20,
+	s := mustServer(t, serverConfig{
+		options:     testOptions(),
 		maxSessions: 2,
 		now:         clk.now,
 	})
@@ -389,9 +398,8 @@ func TestSessionLRUCap(t *testing.T) {
 // TestStatsReportsEvictions: /stats carries the lifetime eviction counter.
 func TestStatsReportsEvictions(t *testing.T) {
 	clk := &fakeClock{at: time.Unix(3000, 0)}
-	s := newServer(serverConfig{
-		opts:        affidavit.DefaultOptions(),
-		maxUpload:   16 << 20,
+	s := mustServer(t, serverConfig{
+		options:     testOptions(),
 		maxSessions: 1,
 		now:         clk.now,
 	})
@@ -413,5 +421,133 @@ func TestStatsReportsEvictions(t *testing.T) {
 	}
 	if _, ok := stats.Tables["b"]; !ok || len(stats.Tables) != 1 {
 		t.Errorf("tables %v, want only b", stats.Tables)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves the observer-fed Prometheus
+// counters and reflects the traffic the server handled.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 1)
+	code, body := post(t, srv, csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1]),
+		map[string]string{"table": "m"})
+	if code != http.StatusOK {
+		t.Fatalf("explain: status %d: %s", code, body)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	text := string(out)
+	for _, want := range []string{
+		`affidavit_ingested_records_total{snapshot="source"} 98`,
+		`affidavit_ingested_records_total{snapshot="target"} 98`,
+		`affidavit_runs_started_total{mode="cold"} 1`,
+		"affidavit_runs_completed_total 1",
+		"affidavit_conversions_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestStreamingBeyondMaxUpload: file parts stream into the interned
+// backend, so an upload far larger than -max-upload explains fine — the
+// cap only bounds buffered non-file values now.
+func TestStreamingBeyondMaxUpload(t *testing.T) {
+	srv := httptest.NewServer(mustServer(t, serverConfig{
+		options:   testOptions(),
+		maxUpload: 1 << 10, // 1 KiB
+	}).handler())
+	t.Cleanup(srv.Close)
+
+	// ~60 KiB per snapshot, far beyond the 1 KiB cap.
+	var src, tgt strings.Builder
+	src.WriteString("id,city,amount\n")
+	tgt.WriteString("id,city,amount\n")
+	cities := []string{"mannheim", "berlin", "hamburg", "dresden"}
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&src, "K%05d,%s,%d\n", i, cities[i%4], i*100)
+		fmt.Fprintf(&tgt, "R%05d,%s,%d\n", i, strings.ToUpper(cities[i%4]), i*100)
+	}
+	code, body := post(t, srv, src.String(), tgt.String(), map[string]string{"table": "big"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %.300s", code, body)
+	}
+	var resp affidavit.JSONResult
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cost >= resp.TrivialCost {
+		t.Errorf("cost %v vs trivial %v: the uppercase rewrite was not learned", resp.Cost, resp.TrivialCost)
+	}
+	// The cap still applies to buffered value fields.
+	code, body = post(t, srv, "a\n1\n", "a\n1\n", map[string]string{"table": strings.Repeat("x", 2<<10)})
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "exceeds") {
+		t.Errorf("oversized field: status %d body %.120s", code, body)
+	}
+}
+
+// TestMaxRecordsGuard: -max-records rejects snapshots that stream past
+// the cap — the memory guard replacing the removed whole-body byte cap.
+func TestMaxRecordsGuard(t *testing.T) {
+	srv := httptest.NewServer(mustServer(t, serverConfig{
+		options:    testOptions(),
+		maxRecords: 10,
+	}).handler())
+	t.Cleanup(srv.Close)
+
+	var big strings.Builder
+	big.WriteString("id\n")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&big, "r%d\n", i)
+	}
+	code, body := post(t, srv, big.String(), big.String(), nil)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "record limit") {
+		t.Errorf("over-limit upload: status %d body %.120s", code, body)
+	}
+	// Under the cap still works — and so does EXACTLY the cap (a snapshot
+	// of max records ends in a clean EOF, not a limit error).
+	code, _ = post(t, srv, "id\nr1\nr2\n", "id\nr1\n", nil)
+	if code != http.StatusOK {
+		t.Errorf("under-limit upload: status %d", code)
+	}
+	var exact strings.Builder
+	exact.WriteString("id\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&exact, "r%d\n", i)
+	}
+	code, body = post(t, srv, exact.String(), exact.String(), nil)
+	if code != http.StatusOK {
+		t.Errorf("exact-limit upload: status %d body %.120s", code, body)
+	}
+}
+
+// TestMaxSnapshotBytesGuard: the byte cap catches few-records-huge-fields
+// bodies that a record count cannot.
+func TestMaxSnapshotBytesGuard(t *testing.T) {
+	srv := httptest.NewServer(mustServer(t, serverConfig{
+		options:          testOptions(),
+		maxSnapshotBytes: 1 << 10, // 1 KiB
+	}).handler())
+	t.Cleanup(srv.Close)
+
+	huge := "v\n" + strings.Repeat("x", 4<<10) + "\n" // one 4 KiB record
+	code, body := post(t, srv, huge, "v\na\n", nil)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "byte limit") {
+		t.Errorf("over-byte-limit upload: status %d body %.120s", code, body)
+	}
+	code, _ = post(t, srv, "v\na\n", "v\nb\n", nil)
+	if code != http.StatusOK {
+		t.Errorf("small upload: status %d", code)
 	}
 }

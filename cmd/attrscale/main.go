@@ -15,30 +15,29 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 
+	"affidavit/internal/cliutil"
 	"affidavit/internal/eval"
-	"affidavit/internal/search"
 )
 
 func main() {
-	var (
-		fdRows  = flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
-	)
+	fdRows := flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
+	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{Seed: 1})
 	flag.Parse()
 
 	// Ctrl-C cancels the sweep cooperatively between (and within) runs.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := search.DefaultOptions()
-	opts.Workers = *workers
+	opts, err := cfg.SearchOptions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attrscale:", err)
+		os.Exit(2)
+	}
 	points, err := eval.Figure6(ctx, eval.Figure6Spec{
 		Rows: map[string]int{"fd-red-30": *fdRows},
-		Seed: *seed,
+		Seed: *cfg.Seed,
 		Opts: opts,
 		Progress: func(p eval.AttrPoint) {
 			fmt.Fprintf(os.Stderr, "done %-12s |A|=%d: %v\n",

@@ -15,22 +15,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 
+	"affidavit/internal/cliutil"
 	"affidavit/internal/eval"
-	"affidavit/internal/search"
 )
 
 func main() {
 	var (
 		baseRows = flag.Int("base-rows", 50000, "records at factor 100% (paper: 500000)")
 		factors  = flag.String("factors", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "comma-separated scaling factors")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)")
 	)
+	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{Seed: 1})
 	flag.Parse()
 
 	var fs []float64
@@ -46,12 +44,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opts := search.DefaultOptions()
-	opts.Workers = *workers
+	opts, err := cfg.SearchOptions()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rowscale:", err)
+		os.Exit(2)
+	}
 	points, err := eval.Figure5(ctx, eval.Figure5Spec{
 		BaseRows: *baseRows,
 		Factors:  fs,
-		Seed:     *seed,
+		Seed:     *cfg.Seed,
 		Opts:     opts,
 		Progress: func(p eval.ScalePoint) {
 			fmt.Fprintf(os.Stderr, "done %3.0f%% (%d rows): %v\n",

@@ -50,9 +50,11 @@ func main() {
 		snapshots = append(snapshots, mustTable(schema, rows))
 	}
 
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 1
-	session := affidavit.NewSession(snapshots[0], opts)
+	ex, err := affidavit.New(affidavit.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := ex.Session(snapshots[0])
 	for i := 1; i < len(snapshots); i++ {
 		res, err := session.ExplainNext(snapshots[i])
 		if err != nil {

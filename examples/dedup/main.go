@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -87,9 +88,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 11
-	res, err := affidavit.Explain(src, tgt, opts)
+	ex, err := affidavit.New(affidavit.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.Explain(context.Background(), src, tgt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -95,9 +96,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 42
-	res, err := affidavit.Explain(src, tgt, opts)
+	ex, err := affidavit.New(affidavit.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.Explain(context.Background(), src, tgt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,9 +64,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := affidavit.DefaultOptions()
-	opts.Seed = 1
-	res, err := affidavit.Explain(source, target, opts)
+	// The Explainer is the package's front door: functional options, one
+	// shared configuration for every explanation it runs.
+	ex, err := affidavit.New(affidavit.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.Explain(context.Background(), source, target)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"affidavit"
 	"affidavit/internal/satreduce"
 )
 
@@ -58,4 +60,20 @@ func main() {
 	}
 	fmt.Printf("\n(v1) ∧ (¬v1): satisfiable = %v — every explanation must delete a clause record (deleted = %d)\n",
 		us.Satisfiable, len(us.Explanation.Deleted))
+
+	// The reduction is an ordinary problem instance, so the public search
+	// can attack it too. The bounded best-first heuristic is NOT guaranteed
+	// to reach the exact optimum on these adversarial instances — that gap
+	// is Theorem 3.12's point: deciding deletion-freeness (= satisfiability)
+	// is NP-hard, so a polynomial heuristic must sometimes fall short.
+	ex, err := affidavit.New(affidavit.WithAlpha(0.5), affidavit.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ex.Explain(context.Background(), inst.Source, inst.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheuristic search on the same instance: cost %g, deleted %d (exact optimum deleted %d)\n",
+		res.Cost, len(res.Explanation.Deleted), len(sol.Explanation.Deleted))
 }

@@ -1,0 +1,316 @@
+package affidavit
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/obs"
+	"affidavit/internal/search"
+	"affidavit/internal/session"
+	"affidavit/internal/table"
+)
+
+// Explainer is the long-lived front door of the package: one fully-resolved
+// configuration shared by every explanation it runs, built once from
+// functional options and validated eagerly. Unlike the legacy Options
+// struct — whose zero values were ambiguous (Alpha 0 silently meant 0.5,
+// Theta 0 silently meant 0.1) — every With option sets exactly the value it
+// names, so α = 0 and θ = 0 are expressible.
+//
+//	ex, err := affidavit.New(
+//	    affidavit.WithAlpha(0.3),
+//	    affidavit.WithWorkers(8),
+//	    affidavit.WithObserver(metrics),
+//	)
+//	res, err := ex.Explain(ctx, src, tgt)
+//
+// Explainers are immutable after New and safe for concurrent use; every
+// run copies the configuration. Sessions created via Session share the
+// Explainer's configuration and observer.
+type Explainer struct {
+	so    search.Options
+	metas []metafunc.Meta
+	obs   Observer
+}
+
+// Option configures an Explainer. Options apply in order; later options
+// override earlier ones. Validation happens once, in New.
+type Option func(*Explainer)
+
+// New builds an Explainer from the paper's default configuration (Hid
+// start, β = 2, ϱ = 5, α = 0.5, θ = 0.1, ρ = 0.95, sequential engine) with
+// the given options applied, and validates the result eagerly — a
+// misconfigured Explainer fails here, not on its first explanation.
+func New(opts ...Option) (*Explainer, error) {
+	e := &Explainer{so: search.DefaultOptions(), metas: metafunc.DefaultMetas()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if err := e.so.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// WithAlpha sets the MDL cost parameter α ∈ [0,1] (Definition 3.10). Unlike
+// the legacy Options struct, an explicit 0 is honoured: the cost then
+// weighs only function complexity.
+func WithAlpha(alpha float64) Option { return func(e *Explainer) { e.so.Alpha = alpha } }
+
+// WithBeta sets the search branching factor β ≥ 1.
+func WithBeta(beta int) Option { return func(e *Explainer) { e.so.Beta = beta } }
+
+// WithQueueWidth sets the bounded-queue width ϱ ≥ 1.
+func WithQueueWidth(width int) Option { return func(e *Explainer) { e.so.QueueWidth = width } }
+
+// WithStart selects the start-state strategy (StartID, StartOverlap,
+// StartEmpty).
+func WithStart(s Start) Option { return func(e *Explainer) { e.so.Start = s } }
+
+// WithOverlapConfig applies the paper's fast greedy Hs configuration
+// (overlap start, β = 1, ϱ = 1) — the functional-option form of the legacy
+// OverlapOptions preset. Compose further options after it to adjust.
+func WithOverlapConfig() Option {
+	return func(e *Explainer) {
+		e.so.Start = search.StartOverlap
+		e.so.Beta = 1
+		e.so.QueueWidth = 1
+	}
+}
+
+// WithMaxBlockSize sets the overlap-matching block threshold used by
+// StartOverlap.
+func WithMaxBlockSize(n int) Option { return func(e *Explainer) { e.so.MaxBlockSize = n } }
+
+// WithTheta sets θ ∈ [0,1], the estimated fraction of records showing a
+// transformation's effect. An explicit 0 is honoured and means minimal
+// sampling (the induction sample falls to its floor and overlap ranking
+// samples nothing) — the legacy Options struct could not express it.
+func WithTheta(theta float64) Option { return func(e *Explainer) { e.so.Induce.Theta = theta } }
+
+// WithRho sets the sampling confidence level ρ ∈ [0,1].
+func WithRho(rho float64) Option { return func(e *Explainer) { e.so.Induce.Rho = rho } }
+
+// WithSeed sets the seed driving all sampling; equal seeds give equal
+// explanations.
+func WithSeed(seed int64) Option { return func(e *Explainer) { e.so.Seed = seed } }
+
+// WithMaxExpansions caps search-state expansions; 0 = unlimited.
+func WithMaxExpansions(n int) Option { return func(e *Explainer) { e.so.MaxExpansions = n } }
+
+// WithWorkers bounds how many search probes run concurrently (0 or 1 =
+// sequential engine). For any fixed seed the parallel and sequential
+// engines return identical explanations.
+func WithWorkers(n int) Option { return func(e *Explainer) { e.so.Workers = n } }
+
+// WithWarmGuard arms the warm-start quality guard used by session warm
+// paths; 0 disables it (see Options.WarmGuard).
+func WithWarmGuard(g float64) Option { return func(e *Explainer) { e.so.WarmGuard = g } }
+
+// WithExtraMetas extends the built-in meta-function library with
+// domain-specific families.
+func WithExtraMetas(metas ...Meta) Option {
+	return func(e *Explainer) { e.metas = append(e.metas, metas...) }
+}
+
+// WithObserver attaches a pipeline observer (progress, metrics). Events
+// within one run arrive in deterministic order for a fixed seed;
+// concurrent runs interleave, so shared observers must be safe for
+// concurrent use. A nil observer is the default no-op and costs nothing on
+// the hot path.
+func WithObserver(o Observer) Option { return func(e *Explainer) { e.obs = o } }
+
+// FromOptions applies a legacy Options struct with its historical
+// zero-value semantics (zero fields fall back to defaults) — the bridge
+// for callers migrating to functional options one step at a time.
+func FromOptions(o Options) Option {
+	return func(e *Explainer) {
+		e.so = o.toSearch()
+		e.metas = append(metafunc.DefaultMetas(), o.ExtraMetas...)
+	}
+}
+
+// searchOptions returns the per-run search configuration, wiring the
+// observer in.
+func (e *Explainer) searchOptions() search.Options {
+	so := e.so
+	if e.obs != nil {
+		so.OnEvent = e.obs.Observe
+	}
+	return so
+}
+
+// Explain explains the difference between two in-memory snapshots sharing
+// a schema. An interrupted ctx is not an error — the result carries the
+// best explanation found so far with Stats.Cancelled set (see the legacy
+// ExplainContext for details).
+func (e *Explainer) Explain(ctx context.Context, source, target *Table) (*Result, error) {
+	inst, err := delta.NewInstance(source, target, e.metas)
+	if err != nil {
+		return nil, err
+	}
+	return e.explainInstance(ctx, inst)
+}
+
+// ExplainSources streams two snapshots out of their Sources — interning
+// every record into a shared per-attribute dictionary set the moment it
+// arrives, so neither snapshot is ever materialised as a [][]string — and
+// explains the resulting pair. Explanations are byte-identical to the
+// buffered Explain path on the same data; only the ingest memory profile
+// differs. The observer (if any) sees ingest-progress events per chunk.
+func (e *Explainer) ExplainSources(ctx context.Context, source, target Source) (*Result, error) {
+	// Open both sources and compare schemas BEFORE draining either: a
+	// mismatched pair (wrong file, renamed column) fails after two header
+	// reads, not after interning gigabytes.
+	srcSchema, err := source.Open()
+	if err != nil {
+		source.Close()
+		target.Close()
+		return nil, err
+	}
+	tgtSchema, err := target.Open()
+	if err != nil {
+		source.Close()
+		target.Close()
+		return nil, err
+	}
+	if !srcSchema.Equal(tgtSchema) {
+		source.Close()
+		target.Close()
+		return nil, fmt.Errorf("affidavit: source and target schemas differ: %v vs %v",
+			srcSchema.Attrs(), tgtSchema.Attrs())
+	}
+	shared := make([]*table.Dict, srcSchema.Len())
+	for a := range shared {
+		shared[a] = table.NewDict()
+	}
+	src, err := e.drainSource(ctx, source, srcSchema, shared, "source")
+	if err != nil {
+		target.Close()
+		return nil, err
+	}
+	tgt, err := e.drainSource(ctx, target, tgtSchema, shared, "target")
+	if err != nil {
+		return nil, err
+	}
+	inst, err := delta.NewInstanceWithDicts(src, tgt, e.metas, shared)
+	if err != nil {
+		return nil, err
+	}
+	return e.explainInstance(ctx, inst)
+}
+
+// ExplainFiles is ExplainSources over two CSV files (header row = schema),
+// streamed — the drop-in upgrade for the legacy ExplainCSV that never
+// buffers either file.
+func (e *Explainer) ExplainFiles(ctx context.Context, sourcePath, targetPath string) (*Result, error) {
+	return e.ExplainSources(ctx, CSVFileSource(sourcePath), CSVFileSource(targetPath))
+}
+
+// ReadSource drains a Source into an interned columnar Table — the
+// streaming replacement for ReadCSV when the snapshot will be explained
+// later (servers, queues). The observer (if any) sees ingest events
+// labelled "source".
+func (e *Explainer) ReadSource(ctx context.Context, src Source) (*Table, error) {
+	return e.readSource(ctx, src, "source")
+}
+
+// ReadSourceNamed is ReadSource with a caller-chosen snapshot label for
+// the observer's ingest events ("source", "target", …), so multi-snapshot
+// ingest paths report per-role volumes.
+func (e *Explainer) ReadSourceNamed(ctx context.Context, src Source, label string) (*Table, error) {
+	return e.readSource(ctx, src, label)
+}
+
+// ingestChunk is how many records are interned between context checks and
+// ingest-progress events.
+const ingestChunk = 8192
+
+// readSource opens src and drains it into a columnar table with fresh
+// dictionaries.
+func (e *Explainer) readSource(ctx context.Context, src Source, role string) (*Table, error) {
+	schema, err := src.Open()
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return e.drainSource(ctx, src, schema, nil, role)
+}
+
+// drainSource interns every remaining record of an already-opened source
+// into a columnar table. dicts, when non-nil, is the positional dictionary
+// set shared across the snapshots of one pair, so both intern into one
+// code space.
+func (e *Explainer) drainSource(ctx context.Context, src Source, schema *Schema, dicts []*table.Dict, role string) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b, err := table.NewBuilder(schema, dicts)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	emit := func(complete bool) {
+		if e.obs != nil {
+			e.obs.Observe(Event{Kind: obs.KindIngest, Snapshot: role, Records: b.Len(), Complete: complete})
+		}
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		if err := b.Append(rec); err != nil {
+			src.Close()
+			return nil, fmt.Errorf("affidavit: ingesting %s record %d: %w", role, b.Len()+1, err)
+		}
+		if b.Len()%ingestChunk == 0 {
+			emit(false)
+			if err := ctx.Err(); err != nil {
+				src.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := src.Close(); err != nil {
+		return nil, fmt.Errorf("affidavit: closing %s: %w", role, err)
+	}
+	emit(true)
+	return b.Table(), nil
+}
+
+// explainInstance runs the search on a prepared instance.
+func (e *Explainer) explainInstance(ctx context.Context, inst *delta.Instance) (*Result, error) {
+	so := e.searchOptions()
+	res, err := search.Run(ctx, inst, so)
+	if err != nil {
+		return nil, err
+	}
+	cm := delta.CostModel{Alpha: so.Alpha}
+	return &Result{
+		Explanation: res.Explanation,
+		Cost:        res.Cost,
+		TrivialCost: cm.Cost(delta.Trivial(inst)),
+		Stats:       res.Stats,
+		alpha:       so.Alpha,
+	}, nil
+}
+
+// Session creates a long-lived session sharing the Explainer's
+// configuration and observer. initial, when non-nil, is the chain baseline
+// (see NewSession).
+func (e *Explainer) Session(initial *Table) *Session {
+	so := e.searchOptions()
+	return &Session{
+		inner:   session.New(initial, so, e.metas),
+		alpha:   so.Alpha,
+		workers: so.Workers,
+	}
+}

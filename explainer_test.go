@@ -1,0 +1,214 @@
+package affidavit_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"affidavit"
+)
+
+// sameResult asserts two runs produced byte-identical explanations and the
+// same deterministic statistics.
+func sameResult(t *testing.T, a, b *affidavit.Result) {
+	t.Helper()
+	if a.Report() != b.Report() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", a.Report(), b.Report())
+	}
+	if a.Cost != b.Cost || a.TrivialCost != b.TrivialCost {
+		t.Errorf("costs differ: %v/%v vs %v/%v", a.Cost, a.TrivialCost, b.Cost, b.TrivialCost)
+	}
+	as, bs := a.Stats, b.Stats
+	as.Duration, bs.Duration = 0, 0
+	if as != bs {
+		t.Errorf("stats differ: %+v vs %+v", as, bs)
+	}
+}
+
+// TestLegacyOptionsMapIdentically is the regression for the Options →
+// Explainer bridge: the legacy Options{Alpha: 0.5} path (every other field
+// zero, relying on the historical zero-value fallbacks — including the
+// wart that a zero Start means StartOverlap, not the DefaultOptions
+// StartID) must produce the same run as the functional-option construction
+// of what it historically meant — and as FromOptions.
+func TestLegacyOptionsMapIdentically(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	ctx := context.Background()
+
+	legacy, err := affidavit.Explain(src, tgt, affidavit.Options{Alpha: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The explicit spelling of the historical mapping: defaults for β, ϱ,
+	// θ, ρ — but Start is the zero strategy, StartOverlap.
+	ex, err := affidavit.New(
+		affidavit.WithAlpha(0.5),
+		affidavit.WithStart(affidavit.StartOverlap),
+		affidavit.WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := ex.Explain(ctx, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, modern)
+
+	bridged, err := affidavit.New(affidavit.FromOptions(affidavit.Options{Alpha: 0.5, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBridge, err := bridged.Explain(ctx, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, viaBridge)
+
+	// The zero Options value maps to the full default configuration.
+	zero, err := affidavit.Explain(src, tgt, affidavit.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, zero)
+}
+
+// TestExplicitZerosRepresentable: WithAlpha(0) and WithTheta(0) must mean
+// zero — the legacy struct silently swapped both for their defaults.
+func TestExplicitZerosRepresentable(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	ctx := context.Background()
+
+	// Legacy wart, documented: Alpha 0 falls back to 0.5.
+	legacyZero, err := affidavit.Explain(src, tgt, affidavit.Options{Alpha: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyZero.TrivialCost == 0 {
+		t.Fatal("legacy Alpha:0 unexpectedly ran at α=0")
+	}
+
+	// Functional options: α = 0 is real. The trivial explanation costs
+	// 2α·|A|·|T|, so it must be exactly 0.
+	ex, err := affidavit.New(affidavit.WithAlpha(0), affidavit.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := ex.Explain(ctx, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.TrivialCost != 0 {
+		t.Errorf("TrivialCost = %v under α=0, want 0", zero.TrivialCost)
+	}
+	if err := zero.Explanation.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	// θ = 0 is honoured: the run completes with minimal sampling and stays
+	// valid. (The legacy Theta:0 maps to 0.1, asserted by equality with the
+	// default run.)
+	exTheta, err := affidavit.New(affidavit.WithTheta(0), affidavit.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetaZero, err := exTheta.Explain(ctx, src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thetaZero.Explanation.Validate(); err != nil {
+		t.Error(err)
+	}
+	legacyTheta, err := affidavit.Explain(src, tgt, affidavit.Options{Theta: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults, err := affidavit.Explain(src, tgt, affidavit.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacyTheta, defaults)
+}
+
+// TestNewValidatesEagerly: a misconfigured Explainer fails at New, not on
+// its first run.
+func TestNewValidatesEagerly(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  affidavit.Option
+		want string
+	}{
+		{"alpha", affidavit.WithAlpha(1.5), "Alpha"},
+		{"beta", affidavit.WithBeta(0), "Beta"},
+		{"queue", affidavit.WithQueueWidth(0), "QueueWidth"},
+		{"theta", affidavit.WithTheta(1.5), "Theta"},
+		{"rho", affidavit.WithRho(-0.1), "Rho"},
+		{"workers", affidavit.WithWorkers(-1), "Workers"},
+		{"warmguard", affidavit.WithWarmGuard(-1), "WarmGuard"},
+	}
+	for _, c := range cases {
+		if _, err := affidavit.New(c.opt); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %s", c.name, err, c.want)
+		}
+	}
+	if _, err := affidavit.New(); err != nil {
+		t.Errorf("default construction failed: %v", err)
+	}
+}
+
+// TestWithOverlapConfig mirrors the legacy OverlapOptions preset.
+func TestWithOverlapConfig(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	opts := affidavit.OverlapOptions()
+	opts.Seed = 1
+	legacy, err := affidavit.Explain(src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := affidavit.New(affidavit.WithOverlapConfig(), affidavit.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := ex.Explain(context.Background(), src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, modern)
+}
+
+// TestExplainerSessionMatchesLegacy: sessions created from an Explainer
+// behave like legacy NewSession ones.
+func TestExplainerSessionMatchesLegacy(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 1
+	legacySess := affidavit.NewSession(src, opts)
+	legacy, err := legacySess.ExplainNext(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := affidavit.New(affidavit.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ex.Session(src)
+	modern, err := sess.ExplainNext(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, legacy, modern)
+}
+
+// TestLegacyBoundaryThetaStillRuns: θ = 1 and ρ = 1 are degenerate but
+// defined and predate validation — the shims must keep accepting them.
+func TestLegacyBoundaryThetaStillRuns(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	res, err := affidavit.Explain(src, tgt, affidavit.Options{Theta: 1, Rho: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("legacy Theta=1/Rho=1 rejected: %v", err)
+	}
+	if err := res.Explanation.Validate(); err != nil {
+		t.Error(err)
+	}
+}

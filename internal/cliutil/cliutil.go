@@ -1,0 +1,140 @@
+// Package cliutil is the one shared configuration path of the cmds: every
+// CLI registers the same search flags here and turns them into either an
+// affidavit.Explainer (functional options) or a raw search.Options (for
+// the internal eval drivers) — so flag names, defaults, zero-value
+// semantics and the -progress observer cannot drift between binaries.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"affidavit"
+	"affidavit/internal/search"
+)
+
+// Flags holds the registered flag values. Zero int/float flags mean "the
+// configuration default", matching the historical cmd behaviour.
+type Flags struct {
+	Start    *string
+	Alpha    *float64
+	Beta     *int
+	Rho      *int
+	Theta    *float64
+	Conf     *float64
+	MaxBlock *int
+	Seed     *int64
+	Workers  *int
+	Progress *bool
+}
+
+// Defaults parameterises per-cmd flag defaults.
+type Defaults struct {
+	Seed int64
+}
+
+// Register installs the shared search flags on fs.
+func Register(fs *flag.FlagSet, d Defaults) *Flags {
+	return &Flags{
+		Start:    fs.String("start", "hid", "start strategy: hid | hs | empty"),
+		Alpha:    fs.Float64("alpha", 0.5, "cost parameter α in [0,1]"),
+		Beta:     fs.Int("beta", 0, "branching factor β (0 = config default)"),
+		Rho:      fs.Int("rho", 0, "queue width ϱ (0 = config default)"),
+		Theta:    fs.Float64("theta", 0.1, "estimated effect fraction θ"),
+		Conf:     fs.Float64("conf", 0.95, "sampling confidence ρ"),
+		MaxBlock: fs.Int("max-block", 100000, "overlap-matching block threshold (hs)"),
+		Seed:     fs.Int64("seed", d.Seed, "random seed (equal seeds give equal explanations)"),
+		Workers:  fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)"),
+		Progress: fs.Bool("progress", false, "narrate pipeline progress (ingest, polls, phases) on stderr"),
+	}
+}
+
+// ProgressObserver returns the stderr narrator when -progress was set,
+// nil otherwise. Callers compose it with their own observers (e.g.
+// affidavit.Observers(metrics, flags.ProgressObserver())).
+func (f *Flags) ProgressObserver() affidavit.Observer {
+	if !*f.Progress {
+		return nil
+	}
+	return affidavit.NewProgressObserver(os.Stderr)
+}
+
+// Options turns the parsed flags into functional options for affidavit.New,
+// appending any extra options after the flag-derived ones (so callers can
+// override). Observers are deliberately NOT included — each cmd composes
+// its own (ProgressObserver, metrics, …) and attaches them via
+// affidavit.WithObserver, so a later option can never silently drop one.
+func (f *Flags) Options(extra ...affidavit.Option) ([]affidavit.Option, error) {
+	opts := []affidavit.Option{}
+	switch strings.ToLower(*f.Start) {
+	case "hid":
+		opts = append(opts, affidavit.WithStart(affidavit.StartID))
+	case "hs":
+		opts = append(opts, affidavit.WithOverlapConfig())
+	case "empty":
+		opts = append(opts, affidavit.WithStart(affidavit.StartEmpty))
+	default:
+		return nil, fmt.Errorf("unknown start strategy %q", *f.Start)
+	}
+	opts = append(opts,
+		affidavit.WithAlpha(*f.Alpha),
+		affidavit.WithTheta(*f.Theta),
+		affidavit.WithRho(*f.Conf),
+		affidavit.WithMaxBlockSize(*f.MaxBlock),
+		affidavit.WithSeed(*f.Seed),
+		affidavit.WithWorkers(*f.Workers),
+	)
+	if *f.Beta > 0 {
+		opts = append(opts, affidavit.WithBeta(*f.Beta))
+	}
+	if *f.Rho > 0 {
+		opts = append(opts, affidavit.WithQueueWidth(*f.Rho))
+	}
+	return append(opts, extra...), nil
+}
+
+// Explainer builds the Explainer the flags describe.
+func (f *Flags) Explainer(extra ...affidavit.Option) (*affidavit.Explainer, error) {
+	opts, err := f.Options(extra...)
+	if err != nil {
+		return nil, err
+	}
+	return affidavit.New(opts...)
+}
+
+// SearchOptions turns the parsed flags into a search.Options for the
+// internal eval drivers (rowscale, attrscale), including the -progress
+// event sink. It applies the same start-strategy mapping as Options.
+func (f *Flags) SearchOptions() (search.Options, error) {
+	var so search.Options
+	switch strings.ToLower(*f.Start) {
+	case "hid":
+		so = search.DefaultOptions()
+	case "hs":
+		so = search.OverlapOptions()
+	case "empty":
+		so = search.DefaultOptions()
+		so.Start = search.StartEmpty
+	default:
+		return so, fmt.Errorf("unknown start strategy %q", *f.Start)
+	}
+	so.Alpha = *f.Alpha
+	if *f.Beta > 0 {
+		so.Beta = *f.Beta
+	}
+	if *f.Rho > 0 {
+		so.QueueWidth = *f.Rho
+	}
+	so.Induce.Theta = *f.Theta
+	so.Induce.Rho = *f.Conf
+	so.MaxBlockSize = *f.MaxBlock
+	so.Seed = *f.Seed
+	so.Workers = *f.Workers
+	if o := f.ProgressObserver(); o != nil {
+		so.OnEvent = o.Observe
+	}
+	return so, nil
+}

@@ -18,9 +18,13 @@ import (
 // Config carries the statistical parameters of Sections 4.4.2–4.4.3.
 type Config struct {
 	// Theta is θ: the estimated fraction of target records on which the
-	// optimal function's effect is visible. Default 0.1.
+	// optimal function's effect is visible. The paper's value is 0.1
+	// (Defaults); an explicit 0 is honoured and means minimal sampling —
+	// SampleSize falls to the MinGenerated floor and overlap ranking
+	// samples nothing.
 	Theta float64
-	// Rho is ρ: the confidence level for the induction sample. Default 0.95.
+	// Rho is ρ: the confidence level for the induction sample. The paper's
+	// value is 0.95 (Defaults); an explicit 0 is honoured.
 	Rho float64
 	// MinGenerated is the generation-count threshold at full sample size k;
 	// k is chosen so the optimal function reaches it with confidence ρ.
@@ -49,15 +53,15 @@ var Defaults = Config{
 	MaxSourceValuesPerBlock: 1000,
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero structural caps. Theta and Rho pass through
+// unchanged: zero is a meaningful (if degenerate) setting — θ = 0 samples
+// only the MinGenerated floor and skips overlap sampling entirely, ρ = 0
+// demands no confidence — so front-ends can express it explicitly instead
+// of having it silently swapped for the paper defaults.
 func (c Config) withDefaults() Config {
 	d := Defaults
-	if c.Theta > 0 {
-		d.Theta = c.Theta
-	}
-	if c.Rho > 0 {
-		d.Rho = c.Rho
-	}
+	d.Theta = c.Theta
+	d.Rho = c.Rho
 	if c.MinGenerated > 0 {
 		d.MinGenerated = c.MinGenerated
 	}

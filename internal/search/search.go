@@ -11,6 +11,7 @@ import (
 	"affidavit/internal/delta"
 	"affidavit/internal/induce"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/obs"
 )
 
 // StartStrategy selects the set of start states H₀ (Section 4.2).
@@ -80,6 +81,13 @@ type Options struct {
 	// Tracer callbacks always fire from the polling goroutine, in
 	// deterministic order, regardless of Workers.
 	Tracer Tracer
+	// OnEvent, when non-nil, receives pipeline events: one search-start
+	// event (cold/warm/escalated, start level), one poll event per queue
+	// extraction, finalisation and conversion phase markers, and one done
+	// event with the final tallies. Events fire from the polling goroutine
+	// in deterministic order for a fixed seed, regardless of Workers; a nil
+	// sink costs one branch per emission point.
+	OnEvent obs.Sink
 	// WarmStart, when non-nil, switches Run into incremental mode — the
 	// warm-start API for snapshot chains: when diffing snapshot n against
 	// n+1, the explanation of (n−1, n) is usually mostly right, so instead
@@ -144,6 +152,44 @@ func OverlapOptions() Options {
 	return o
 }
 
+// Validate checks every instance-independent option invariant — the same
+// checks Run performs before searching, exposed so front-ends constructing
+// options (functional-option builders, flag parsers) can fail fast instead
+// of deferring configuration errors to the first explanation.
+func (o Options) Validate() error {
+	if o.Beta < 1 {
+		return fmt.Errorf("search: Beta must be ≥ 1, got %d", o.Beta)
+	}
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("search: Alpha must be in [0,1], got %v", o.Alpha)
+	}
+	if o.QueueWidth < 1 {
+		return fmt.Errorf("search: QueueWidth must be ≥ 1, got %d", o.QueueWidth)
+	}
+	if o.MaxExpansions < 0 {
+		return fmt.Errorf("search: MaxExpansions must be ≥ 0, got %d", o.MaxExpansions)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("search: Workers must be ≥ 0, got %d", o.Workers)
+	}
+	if o.WarmGuard < 0 {
+		return fmt.Errorf("search: WarmGuard must be ≥ 0, got %v", o.WarmGuard)
+	}
+	if o.WarmPrevRatio < 0 {
+		return fmt.Errorf("search: WarmPrevRatio must be ≥ 0, got %v", o.WarmPrevRatio)
+	}
+	// Both boundaries are degenerate but defined (θ ∈ {0,1} collapse the
+	// sample sizing, ρ = 1 demands the cap) and ran fine before validation
+	// existed, so the legacy shims keep accepting them.
+	if o.Induce.Theta < 0 || o.Induce.Theta > 1 {
+		return fmt.Errorf("search: Theta must be in [0,1], got %v", o.Induce.Theta)
+	}
+	if o.Induce.Rho < 0 || o.Induce.Rho > 1 {
+		return fmt.Errorf("search: Rho must be in [0,1], got %v", o.Induce.Rho)
+	}
+	return nil
+}
+
 // Stats reports how much work a run performed.
 type Stats struct {
 	Polls           int           // states extracted from the queue
@@ -187,30 +233,12 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 	if inst.NumAttrs() == 0 {
 		return nil, fmt.Errorf("search: instance has no attributes")
 	}
-	if opts.Beta < 1 {
-		return nil, fmt.Errorf("search: Beta must be ≥ 1, got %d", opts.Beta)
-	}
-	if opts.Alpha < 0 || opts.Alpha > 1 {
-		return nil, fmt.Errorf("search: Alpha must be in [0,1], got %v", opts.Alpha)
-	}
-	if opts.QueueWidth < 1 {
-		return nil, fmt.Errorf("search: QueueWidth must be ≥ 1, got %d", opts.QueueWidth)
-	}
-	if opts.MaxExpansions < 0 {
-		return nil, fmt.Errorf("search: MaxExpansions must be ≥ 0, got %d", opts.MaxExpansions)
-	}
-	if opts.Workers < 0 {
-		return nil, fmt.Errorf("search: Workers must be ≥ 0, got %d", opts.Workers)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.WarmStart != nil && len(opts.WarmStart) != inst.NumAttrs() {
 		return nil, fmt.Errorf("search: WarmStart has %d functions, schema has %d attributes",
 			len(opts.WarmStart), inst.NumAttrs())
-	}
-	if opts.WarmGuard < 0 {
-		return nil, fmt.Errorf("search: WarmGuard must be ≥ 0, got %v", opts.WarmGuard)
-	}
-	if opts.WarmPrevRatio < 0 {
-		return nil, fmt.Errorf("search: WarmPrevRatio must be ≥ 0, got %v", opts.WarmPrevRatio)
 	}
 	start := time.Now()
 	e := &engine{
@@ -230,21 +258,35 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 			return nil, fmt.Errorf("search: produced invalid explanation: %w", err)
 		}
 		e.stats.Duration = time.Since(start)
+		cost := e.cm.Cost(expl)
+		e.emit(obs.Event{
+			Kind:      obs.KindDone,
+			Polls:     e.stats.Polls,
+			States:    e.stats.StatesGenerated,
+			Cost:      cost,
+			Cancelled: e.stats.Cancelled,
+		})
 		return &Result{
 			Explanation: expl,
-			Cost:        e.cm.Cost(expl),
+			Cost:        cost,
 			Stats:       *e.stats,
 		}, nil
 	}
 	if e.done() {
 		// Cancelled before any search work: the trivial explanation is the
-		// only best-so-far there is.
+		// only best-so-far there is. Mode "cancelled" keeps the observer's
+		// start/done event pairing intact — every done event has a start.
 		e.stats.Cancelled = true
+		e.emit(obs.Event{Kind: obs.KindSearchStart, Mode: "cancelled", Start: opts.Start.String()})
 		return finish(delta.Trivial(inst))
 	}
 	root := newRoot(ctx, inst, e.cm, opts.Workers)
 	q := newQueue(opts.QueueWidth)
 	starts := e.warmStates(root)
+	mode := "cold"
+	if len(starts) > 0 {
+		mode = "warm"
+	}
 	if len(starts) > 0 && opts.WarmGuard > 0 {
 		// Warm-start quality guard: the first warm state carries the whole
 		// previous tuple, re-blocked and re-costed against this pair. When
@@ -253,6 +295,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		trivial := e.cm.TrivialCost(inst.NumAttrs(), inst.Target.Len())
 		if trivial > 0 && starts[0].cost > opts.WarmGuard*opts.WarmPrevRatio*trivial {
 			e.stats.WarmEscalated = true
+			mode = "escalated"
 			starts = nil
 		}
 	}
@@ -265,6 +308,12 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 			e.stats.StartLevel = s.level
 		}
 	}
+	e.emit(obs.Event{
+		Kind:       obs.KindSearchStart,
+		Mode:       mode,
+		Start:      opts.Start.String(),
+		StartLevel: e.stats.StartLevel,
+	})
 
 	var end, best *State
 	for q.Len() > 0 {
@@ -277,6 +326,13 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		if opts.Tracer != nil {
 			opts.Tracer.Polled(h, e.stats.Polls)
 		}
+		e.emit(obs.Event{
+			Kind:  obs.KindPoll,
+			Poll:  e.stats.Polls,
+			Level: h.level,
+			Cost:  h.cost,
+			End:   h.IsEnd(),
+		})
 		if h.IsEnd() {
 			end = h
 			break
@@ -296,10 +352,12 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		// attributes with greedy maps — about one expansion's worth of work —
 		// instead of throwing the partial assignment away.
 		end = e.finalize(best)
+		e.emit(obs.Event{Kind: obs.KindFinalize, Level: end.level, Cost: end.cost})
 	}
 
 	var expl *delta.Explanation
 	if end != nil {
+		e.emit(obs.Event{Kind: obs.KindConvert})
 		tuple := make(delta.FuncTuple, len(end.funcs))
 		copy(tuple, end.funcs)
 		bctx := ctx
@@ -335,6 +393,14 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		}
 	}
 	return finish(expl)
+}
+
+// emit forwards an event to the configured sink. Called only from the
+// polling goroutine, so event order is deterministic for fixed seeds.
+func (e *engine) emit(ev obs.Event) {
+	if e.opts.OnEvent != nil {
+		e.opts.OnEvent(ev)
+	}
 }
 
 // offer adds a state to the queue, keeping the admission statistics.

@@ -49,8 +49,8 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	if err := cw.Write(t.schema.attrs); err != nil {
 		return err
 	}
-	for _, r := range t.records {
-		if err := cw.Write(r); err != nil {
+	for i, n := 0, t.Len(); i < n; i++ {
+		if err := cw.Write(t.Record(i)); err != nil {
 			return err
 		}
 	}

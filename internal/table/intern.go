@@ -69,14 +69,31 @@ func (d *Dict) Value(c int32) string {
 	return v
 }
 
+// Snapshot returns the current value table as a read-only slice: index c
+// holds the string behind code c for every code assigned so far. Because
+// dictionaries are append-only, the snapshot stays valid (for its codes)
+// even as the dictionary keeps growing — callers get lock-free decoding.
+func (d *Dict) Snapshot() []string {
+	d.mu.RLock()
+	v := d.vals[:len(d.vals):len(d.vals)]
+	d.mu.RUnlock()
+	return v
+}
+
 // CodeColumn interns attribute a's values into d and returns them as a code
 // column in record order. Passing the same Dict for the corresponding
 // attribute of two snapshots puts both columns in one shared code space, so
-// cross-snapshot equality is code equality.
+// cross-snapshot equality is code equality. A columnar table whose backing
+// dictionary for a IS d short-circuits: its stored codes are already the
+// answer, so streamed-in snapshots are never re-interned.
 func (t *Table) CodeColumn(a int, d *Dict) []int32 {
-	col := make([]int32, len(t.records))
-	for i, r := range t.records {
-		col[i] = d.Code(r[a])
+	if t.columnar() && t.dicts[a] == d {
+		return append([]int32(nil), t.cols[a]...)
+	}
+	n := t.Len()
+	col := make([]int32, n)
+	for i := 0; i < n; i++ {
+		col[i] = d.Code(t.Value(i, a))
 	}
 	return col
 }

@@ -1,0 +1,62 @@
+package table
+
+import "fmt"
+
+// Builder assembles a columnar table incrementally: every appended record
+// is interned into the per-attribute dictionaries the moment it arrives and
+// stored as int32 codes, so a snapshot streamed in from a reader never
+// exists as a [][]string. This is the ingest side of the interned columnar
+// backend — feeding source and target through builders sharing one
+// dictionary set puts both snapshots in a common code space before the
+// search even starts.
+type Builder struct {
+	t    *Table
+	done bool
+}
+
+// NewBuilder returns a builder for the given schema. dicts, when non-nil,
+// must hold one dictionary per attribute (typically a shared set covering a
+// snapshot pair, or a DictPool's DictsFor); nil creates fresh dictionaries.
+func NewBuilder(s *Schema, dicts []*Dict) (*Builder, error) {
+	if dicts == nil {
+		dicts = make([]*Dict, s.Len())
+		for a := range dicts {
+			dicts[a] = NewDict()
+		}
+	}
+	if len(dicts) != s.Len() {
+		return nil, fmt.Errorf("table: got %d dictionaries, schema has %d attributes", len(dicts), s.Len())
+	}
+	for a, d := range dicts {
+		if d == nil {
+			return nil, fmt.Errorf("table: dictionary for attribute %d is nil", a)
+		}
+	}
+	t := New(s)
+	t.cols = make([][]int32, s.Len())
+	t.dicts = dicts
+	t.views = make([][]string, s.Len())
+	for a, d := range dicts {
+		t.views[a] = d.Snapshot()
+	}
+	return &Builder{t: t}, nil
+}
+
+// Append interns one record. The record is consumed by value — the builder
+// keeps no reference to it.
+func (b *Builder) Append(r Record) error {
+	if b.done {
+		return fmt.Errorf("table: builder already finished")
+	}
+	return b.t.Append(r)
+}
+
+// Len returns the number of records appended so far.
+func (b *Builder) Len() int { return b.t.Len() }
+
+// Table finishes the build and returns the columnar table. The builder
+// must not be appended to afterwards.
+func (b *Builder) Table() *Table {
+	b.done = true
+	return b.t
+}

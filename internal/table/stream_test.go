@@ -1,0 +1,138 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+)
+
+func buildColumnar(t *testing.T, s *Schema, rows []Record, dicts []*Dict) *Table {
+	t.Helper()
+	b, err := NewBuilder(s, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := b.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Table()
+}
+
+var streamRows = []Record{
+	{"a", "1", "x"},
+	{"b", "2", "x"},
+	{"a", "2", "y"},
+	{"", "1", "x"},
+}
+
+// TestBuilderEquivalence: a columnar table must be observationally
+// identical to the row-backed table built from the same records.
+func TestBuilderEquivalence(t *testing.T) {
+	s := MustSchema("k", "n", "c")
+	row := MustFromRows(s, streamRows)
+	col := buildColumnar(t, s, streamRows, nil)
+
+	if col.Len() != row.Len() {
+		t.Fatalf("Len = %d, want %d", col.Len(), row.Len())
+	}
+	for i := 0; i < row.Len(); i++ {
+		if !col.Record(i).Equal(row.Record(i)) {
+			t.Errorf("record %d = %v, want %v", i, col.Record(i), row.Record(i))
+		}
+		for a := 0; a < s.Len(); a++ {
+			if col.Value(i, a) != row.Value(i, a) {
+				t.Errorf("value %d,%d = %q, want %q", i, a, col.Value(i, a), row.Value(i, a))
+			}
+		}
+	}
+	for a := 0; a < s.Len(); a++ {
+		cs, rs := col.Stats(a), row.Stats(a)
+		if cs != rs {
+			t.Errorf("stats %d = %+v, want %+v", a, cs, rs)
+		}
+	}
+	var cb, rb bytes.Buffer
+	if err := col.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := row.WriteCSV(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if cb.String() != rb.String() {
+		t.Errorf("CSV differs:\n%s\nvs\n%s", cb.String(), rb.String())
+	}
+}
+
+// TestBuilderSharedDicts: CodeColumn against the backing dictionary must
+// return the stored codes without interning anything new.
+func TestBuilderSharedDicts(t *testing.T) {
+	s := MustSchema("k", "n", "c")
+	dicts := []*Dict{NewDict(), NewDict(), NewDict()}
+	col := buildColumnar(t, s, streamRows, dicts)
+	for a := 0; a < s.Len(); a++ {
+		before := dicts[a].Len()
+		codes := col.CodeColumn(a, dicts[a])
+		if dicts[a].Len() != before {
+			t.Errorf("attr %d: CodeColumn grew the backing dict", a)
+		}
+		for i, c := range codes {
+			if got := dicts[a].Value(c); got != streamRows[i][a] {
+				t.Errorf("attr %d rec %d: decoded %q, want %q", a, i, got, streamRows[i][a])
+			}
+		}
+	}
+	// Against a foreign dict it must intern normally.
+	foreign := NewDict()
+	codes := col.CodeColumn(0, foreign)
+	for i, c := range codes {
+		if foreign.Value(c) != streamRows[i][0] {
+			t.Errorf("foreign decode %d mismatch", i)
+		}
+	}
+}
+
+// TestColumnarMutators: Append/Clone/Select on columnar tables.
+func TestColumnarMutators(t *testing.T) {
+	s := MustSchema("k", "n", "c")
+	col := buildColumnar(t, s, streamRows, nil)
+	if err := col.Append(Record{"z", "9", "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 5 || col.Value(4, 2) != "new" {
+		t.Fatalf("append failed: len=%d last=%v", col.Len(), col.Record(4))
+	}
+	clone := col.Clone()
+	if err := clone.Append(Record{"w", "8", "more"}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 5 {
+		t.Error("clone append leaked into the original")
+	}
+	sel := col.Select([]int{2, 0})
+	if sel.Len() != 2 || sel.Value(0, 0) != "a" || sel.Value(1, 1) != "1" {
+		t.Errorf("select wrong: %v / %v", sel.Record(0), sel.Record(1))
+	}
+	if err := col.Append(Record{"short"}); err == nil {
+		t.Error("width mismatch not rejected")
+	}
+}
+
+// TestBuilderValidation: dictionary count and finished-builder misuse.
+func TestBuilderValidation(t *testing.T) {
+	s := MustSchema("a", "b")
+	if _, err := NewBuilder(s, []*Dict{NewDict()}); err == nil {
+		t.Error("dict count mismatch not rejected")
+	}
+	if _, err := NewBuilder(s, []*Dict{NewDict(), nil}); err == nil {
+		t.Error("nil dict not rejected")
+	}
+	b, err := NewBuilder(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Table()
+	if err := b.Append(Record{"x", "y"}); err == nil {
+		t.Error("append after Table() not rejected")
+	}
+}

@@ -141,11 +141,34 @@ func (r Record) Project(cols []int) Record {
 	return p
 }
 
-// Table is a snapshot: a schema plus a multiset of records.
+// Table is a snapshot: a schema plus a multiset of records. Tables have two
+// interchangeable backings:
+//
+//   - Row backing: records are stored as string tuples (FromRows, ReadCSV).
+//   - Columnar backing: every value is interned into a per-attribute Dict the
+//     moment it is appended, and records are stored as dense int32 code
+//     columns (NewBuilder). A snapshot streamed in chunk-by-chunk therefore
+//     never exists as a [][]string — memory is bounded by the number of
+//     *distinct* values plus 4 bytes per cell.
+//
+// Both backings serve the same accessors and produce identical explanations;
+// only the memory layout and the interning work differ.
 type Table struct {
 	schema  *Schema
-	records []Record
+	records []Record // row backing; nil when columnar
+
+	// Columnar backing. cols[a][i] is the code of record i's value of
+	// attribute a in dicts[a]; views[a] is a lock-free snapshot of dicts[a]'s
+	// value table covering every code stored in cols[a]; clen is the record
+	// count (kept separately so zero-attribute tables still know their size).
+	cols  [][]int32
+	dicts []*Dict
+	views [][]string
+	clen  int
 }
+
+// columnar reports whether the table uses the interned columnar backing.
+func (t *Table) columnar() bool { return t.dicts != nil }
 
 // New creates an empty table under the given schema.
 func New(s *Schema) *Table {
@@ -177,25 +200,75 @@ func MustFromRows(s *Schema, rows []Record) *Table {
 func (t *Table) Schema() *Schema { return t.schema }
 
 // Len returns the number of records.
-func (t *Table) Len() int { return len(t.records) }
+func (t *Table) Len() int {
+	if t.columnar() {
+		return t.clen
+	}
+	return len(t.records)
+}
 
-// Record returns record i without copying; callers must not mutate it.
-func (t *Table) Record(i int) Record { return t.records[i] }
+// Record returns record i. For row-backed tables it aliases the stored
+// tuple and callers must not mutate it; for columnar tables it decodes a
+// fresh tuple per call (same values, safe to hold).
+func (t *Table) Record(i int) Record {
+	if t.columnar() {
+		r := make(Record, len(t.cols))
+		for a, col := range t.cols {
+			r[a] = t.views[a][col[i]]
+		}
+		return r
+	}
+	return t.records[i]
+}
 
 // Value returns the value of attribute a in record i.
-func (t *Table) Value(i, a int) string { return t.records[i][a] }
+func (t *Table) Value(i, a int) string {
+	if t.columnar() {
+		return t.views[a][t.cols[a][i]]
+	}
+	return t.records[i][a]
+}
 
-// Append adds a record (validated against the schema).
+// Append adds a record (validated against the schema). On a columnar table
+// the values are interned immediately.
 func (t *Table) Append(r Record) error {
 	if len(r) != t.schema.Len() {
 		return fmt.Errorf("table: record has %d values, schema has %d attributes", len(r), t.schema.Len())
+	}
+	if t.columnar() {
+		t.appendCoded(r)
+		return nil
 	}
 	t.records = append(t.records, r.Clone())
 	return nil
 }
 
-// Clone returns a deep copy of the table.
+// appendCoded interns one record into the columnar backing.
+func (t *Table) appendCoded(r Record) {
+	for a, v := range r {
+		c := t.dicts[a].Code(v)
+		if int(c) >= len(t.views[a]) {
+			t.views[a] = t.dicts[a].Snapshot()
+		}
+		t.cols[a] = append(t.cols[a], c)
+	}
+	t.clen++
+}
+
+// Clone returns a deep copy of the table. Columnar clones copy the code
+// columns and share the (append-only) dictionaries.
 func (t *Table) Clone() *Table {
+	if t.columnar() {
+		c := New(t.schema)
+		c.cols = make([][]int32, len(t.cols))
+		for a, col := range t.cols {
+			c.cols[a] = append([]int32(nil), col...)
+		}
+		c.dicts = append([]*Dict(nil), t.dicts...)
+		c.views = append([][]string(nil), t.views...)
+		c.clen = t.clen
+		return c
+	}
 	c := New(t.schema)
 	c.records = make([]Record, len(t.records))
 	for i, r := range t.records {
@@ -205,8 +278,23 @@ func (t *Table) Clone() *Table {
 }
 
 // Select returns a new table containing the records at the given indices
-// (records are copied).
+// (records are copied; columnar tables stay columnar).
 func (t *Table) Select(idx []int) *Table {
+	if t.columnar() {
+		c := New(t.schema)
+		c.cols = make([][]int32, len(t.cols))
+		for a, col := range t.cols {
+			sel := make([]int32, len(idx))
+			for i, j := range idx {
+				sel[i] = col[j]
+			}
+			c.cols[a] = sel
+		}
+		c.dicts = append([]*Dict(nil), t.dicts...)
+		c.views = append([][]string(nil), t.views...)
+		c.clen = len(idx)
+		return c
+	}
 	c := New(t.schema)
 	c.records = make([]Record, len(idx))
 	for i, j := range idx {
@@ -217,9 +305,10 @@ func (t *Table) Select(idx []int) *Table {
 
 // Column returns a copy of attribute a's values in record order.
 func (t *Table) Column(a int) []string {
-	col := make([]string, len(t.records))
-	for i, r := range t.records {
-		col[i] = r[a]
+	n := t.Len()
+	col := make([]string, n)
+	for i := 0; i < n; i++ {
+		col[i] = t.Value(i, a)
 	}
 	return col
 }
@@ -229,9 +318,10 @@ func (t *Table) Column(a int) []string {
 func (t *Table) DropAttrs(drop map[int]bool) *Table {
 	ns, old := t.schema.WithoutAttrs(drop)
 	c := New(ns)
-	c.records = make([]Record, len(t.records))
-	for i, r := range t.records {
-		c.records[i] = r.Project(old)
+	n := t.Len()
+	c.records = make([]Record, n)
+	for i := 0; i < n; i++ {
+		c.records[i] = t.Record(i).Project(old)
 	}
 	return c
 }
@@ -248,8 +338,8 @@ func (t *Table) WithColumn(name string, col []string) (*Table, error) {
 	}
 	c := New(ns)
 	c.records = make([]Record, t.Len())
-	for i, r := range t.records {
-		c.records[i] = append(r.Clone(), col[i])
+	for i := range c.records {
+		c.records[i] = append(t.Record(i).Clone(), col[i])
 	}
 	return c, nil
 }
@@ -269,8 +359,8 @@ type ColumnStats struct {
 func (t *Table) Stats(a int) ColumnStats {
 	st := ColumnStats{Attr: t.schema.Attr(a), NumericAll: true, CanonicalAll: true}
 	seen := make(map[string]bool)
-	for _, r := range t.records {
-		v := r[a]
+	for i, n := 0, t.Len(); i < n; i++ {
+		v := t.Value(i, a)
 		if !seen[v] {
 			seen[v] = true
 		}
@@ -310,13 +400,13 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	sb.WriteString(strings.Join(t.schema.attrs, " | "))
 	sb.WriteByte('\n')
-	n := len(t.records)
+	n := t.Len()
 	shown := n
 	if shown > 8 {
 		shown = 8
 	}
 	for i := 0; i < shown; i++ {
-		sb.WriteString(strings.Join(t.records[i], " | "))
+		sb.WriteString(strings.Join(t.Record(i), " | "))
 		sb.WriteByte('\n')
 	}
 	if shown < n {

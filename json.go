@@ -1,0 +1,90 @@
+package affidavit
+
+import (
+	"encoding/json"
+
+	"affidavit/internal/delta"
+	"affidavit/internal/report"
+)
+
+// JSONExplanation is the machine-readable form of an explanation:
+// per-attribute function descriptors, the core alignment as index pairs,
+// and the deleted/inserted record indices.
+type JSONExplanation = report.JSONExplanation
+
+// JSONFunction describes one attribute function.
+type JSONFunction = report.JSONFunction
+
+// JSONPair aligns source record index S with target record index T.
+type JSONPair = report.JSONPair
+
+// JSONStats is the deterministic subset of search statistics: wall time is
+// deliberately omitted so identical inputs produce byte-identical
+// encodings.
+type JSONStats struct {
+	Polls           int  `json:"polls"`
+	StatesGenerated int  `json:"states_generated"`
+	Enqueued        int  `json:"enqueued"`
+	Evicted         int  `json:"evicted"`
+	StartLevel      int  `json:"start_level"`
+	WarmEscalated   bool `json:"warm_escalated,omitempty"`
+	Cancelled       bool `json:"cancelled,omitempty"`
+}
+
+// JSONResult is the stable machine-readable encoding of a Result, shared
+// by cmd/affidavit's -json output and affidavitd's /explain responses.
+// Field order is fixed; all floats are finite (the compression ratio is 0
+// when the trivial cost is 0, never NaN).
+type JSONResult struct {
+	// Table names the snapshot pair; set from the argument of Result.JSON.
+	// Empty omits the field and the SQL script.
+	Table       string          `json:"table,omitempty"`
+	Explanation JSONExplanation `json:"explanation"`
+	// SQL is the migration script for Table; omitted when Table is empty.
+	SQL         string    `json:"sql,omitempty"`
+	Cost        float64   `json:"cost"`
+	TrivialCost float64   `json:"trivial_cost"`
+	Compression float64   `json:"compression"`
+	Stats       JSONStats `json:"stats"`
+}
+
+// StatsJSON projects run statistics onto their deterministic JSON subset.
+func StatsJSON(s Stats) JSONStats {
+	return JSONStats{
+		Polls:           s.Polls,
+		StatesGenerated: s.StatesGenerated,
+		Enqueued:        s.Enqueued,
+		Evicted:         s.Evicted,
+		StartLevel:      s.StartLevel,
+		WarmEscalated:   s.WarmEscalated,
+		Cancelled:       s.Cancelled,
+	}
+}
+
+// JSONResult builds the stable encoding struct; table, when non-empty,
+// names the pair and selects SQL emission.
+func (r *Result) JSONResult(table string) JSONResult {
+	compression := 0.0
+	if r.TrivialCost > 0 {
+		compression = r.Cost / r.TrivialCost
+	}
+	out := JSONResult{
+		Table:       table,
+		Explanation: report.ToJSON(r.Explanation, delta.CostModel{Alpha: r.alpha}),
+		Cost:        r.Cost,
+		TrivialCost: r.TrivialCost,
+		Compression: compression,
+		Stats:       StatsJSON(r.Stats),
+	}
+	if table != "" {
+		out.SQL = r.SQL(table)
+	}
+	return out
+}
+
+// JSON renders the result as indented JSON with a stable field order —
+// identical inputs (and seeds) produce byte-identical output. table, when
+// non-empty, is included along with the SQL migration script for it.
+func (r *Result) JSON(table string) ([]byte, error) {
+	return json.MarshalIndent(r.JSONResult(table), "", "  ")
+}

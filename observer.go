@@ -1,0 +1,221 @@
+package affidavit
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"affidavit/internal/obs"
+)
+
+// Event is one pipeline event: snapshot ingest progress, the warm/cold/
+// escalated start decision, queue polls, finalisation and conversion phase
+// markers, and the final run tallies. Only the fields documented for the
+// Kind carry meaning; the rest are zero.
+type Event = obs.Event
+
+// EventKind discriminates pipeline events.
+type EventKind = obs.Kind
+
+// Event kinds, in pipeline order.
+const (
+	// EventIngest reports snapshot ingest: Snapshot ("source"/"target"),
+	// cumulative Records, and Complete on the final event.
+	EventIngest = obs.KindIngest
+	// EventSearchStart fires once per run: Mode ("cold"/"warm"/"escalated"),
+	// Start strategy, and the deepest StartLevel.
+	EventSearchStart = obs.KindSearchStart
+	// EventPoll fires per queue extraction: Poll index, state Level/Cost,
+	// End on end states.
+	EventPoll = obs.KindPoll
+	// EventFinalize fires when a cancelled run salvages its best state.
+	EventFinalize = obs.KindFinalize
+	// EventConvert fires when the end state enters explanation conversion.
+	EventConvert = obs.KindConvert
+	// EventDone fires once per run: Polls, States, final Cost, Cancelled.
+	EventDone = obs.KindDone
+)
+
+// Observer receives pipeline events from every explanation an Explainer
+// (or its Sessions) runs. Within one run, events arrive from a single
+// goroutine in deterministic order for a fixed seed — the parallel engine
+// reports exactly like the sequential one. Concurrent runs interleave
+// their streams, so observers shared across goroutines (servers, batches)
+// must be safe for concurrent use. Implementations must be cheap: the
+// search calls them synchronously from its poll loop.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// Observers fans every event out to several observers in argument order —
+// e.g. a metrics aggregator plus a progress narrator. Nil entries are
+// skipped; passing a single observer returns it unwrapped.
+func Observers(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return fanout(kept)
+}
+
+type fanout []Observer
+
+func (f fanout) Observe(ev Event) {
+	for _, o := range f {
+		o.Observe(ev)
+	}
+}
+
+// NewProgressObserver returns an observer that narrates pipeline progress
+// as human-readable lines on w — the observer behind the CLIs' -progress
+// flag. It is not safe for concurrent runs; use one per explanation stream.
+func NewProgressObserver(w io.Writer) Observer {
+	return &progressObserver{w: w}
+}
+
+type progressObserver struct {
+	w io.Writer
+}
+
+func (p *progressObserver) Observe(ev Event) {
+	switch ev.Kind {
+	case EventIngest:
+		if ev.Complete {
+			fmt.Fprintf(p.w, "ingest %s: %d records\n", ev.Snapshot, ev.Records)
+		}
+	case EventSearchStart:
+		fmt.Fprintf(p.w, "search: %s start (%s), level %d\n", ev.Mode, ev.Start, ev.StartLevel)
+	case EventPoll:
+		marker := ""
+		if ev.End {
+			marker = " [end]"
+		}
+		fmt.Fprintf(p.w, "poll %d: level %d, cost %g%s\n", ev.Poll, ev.Level, ev.Cost, marker)
+	case EventFinalize:
+		fmt.Fprintf(p.w, "finalize: salvaged level %d, cost %g\n", ev.Level, ev.Cost)
+	case EventConvert:
+		fmt.Fprintln(p.w, "convert: building explanation")
+	case EventDone:
+		state := "done"
+		if ev.Cancelled {
+			state = "cancelled"
+		}
+		fmt.Fprintf(p.w, "%s: %d polls, %d states costed, cost %g\n",
+			state, ev.Polls, ev.States, ev.Cost)
+	}
+}
+
+// MetricsObserver aggregates pipeline events into Prometheus-style
+// counters and serves them in the text exposition format — the observer
+// behind affidavitd's /metrics endpoint. It is safe for concurrent use;
+// one instance typically watches every explanation a process runs.
+type MetricsObserver struct {
+	mu              sync.Mutex
+	ingestedRecords map[string]int64 // by snapshot role
+	runsStarted     map[string]int64 // by mode: cold/warm/escalated
+	runsDone        int64
+	runsCancelled   int64
+	polls           int64
+	statesCosted    int64
+	finalizations   int64
+	conversions     int64
+	costSum         float64
+}
+
+// NewMetricsObserver returns an empty metrics aggregator.
+func NewMetricsObserver() *MetricsObserver {
+	return &MetricsObserver{
+		ingestedRecords: make(map[string]int64),
+		runsStarted:     make(map[string]int64),
+	}
+}
+
+// Observe implements Observer.
+func (m *MetricsObserver) Observe(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case EventIngest:
+		// Records is cumulative per snapshot; totals add once, on Complete.
+		if ev.Complete {
+			m.ingestedRecords[ev.Snapshot] += int64(ev.Records)
+		}
+	case EventSearchStart:
+		m.runsStarted[ev.Mode]++
+	case EventPoll:
+		m.polls++
+	case EventFinalize:
+		m.finalizations++
+	case EventConvert:
+		m.conversions++
+	case EventDone:
+		m.runsDone++
+		if ev.Cancelled {
+			m.runsCancelled++
+		}
+		m.statesCosted += int64(ev.States)
+		m.costSum += ev.Cost
+	}
+}
+
+// WritePrometheus renders the counters in the Prometheus text exposition
+// format, with series sorted for deterministic output.
+func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	labelled := func(name, help, label string, series map[string]int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(series))
+		for k := range series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p("%s{%s=%q} %d\n", name, label, k, series[k])
+		}
+	}
+	counter := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	labelled("affidavit_ingested_records_total", "Records ingested from snapshot sources.", "snapshot", m.ingestedRecords)
+	labelled("affidavit_runs_started_total", "Explanation runs started, by start mode.", "mode", m.runsStarted)
+	counter("affidavit_runs_completed_total", "Explanation runs finished.", m.runsDone)
+	counter("affidavit_runs_cancelled_total", "Explanation runs interrupted by context.", m.runsCancelled)
+	counter("affidavit_search_polls_total", "Search states extracted from the queue.", m.polls)
+	counter("affidavit_search_states_costed_total", "Candidate states costed.", m.statesCosted)
+	counter("affidavit_finalizations_total", "Best-so-far salvage finalisations.", m.finalizations)
+	counter("affidavit_conversions_total", "End-state explanation conversions.", m.conversions)
+	p("# HELP affidavit_explanation_cost_sum Sum of final explanation costs.\n# TYPE affidavit_explanation_cost_sum counter\naffidavit_explanation_cost_sum %g\n", m.costSum)
+	return err
+}
+
+// ServeHTTP serves the metrics, so a MetricsObserver can be mounted
+// directly as a /metrics handler.
+func (m *MetricsObserver) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := m.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,209 @@
+package affidavit_test
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"affidavit"
+	"affidavit/internal/datasets"
+	"affidavit/internal/gen"
+)
+
+// recorder collects events; safe for this package's single-run tests
+// because one run emits from one goroutine.
+type recorder struct {
+	events []affidavit.Event
+}
+
+func (r *recorder) Observe(ev affidavit.Event) { r.events = append(r.events, ev) }
+
+// runWithObserver explains one generated pair with the given worker count
+// and returns the observed event stream.
+func runWithObserver(t *testing.T, workers int) []affidavit.Event {
+	t.Helper()
+	spec, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := spec.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcCSV := csvBytes(t, p.Inst.Source)
+	tgtCSV := csvBytes(t, p.Inst.Target)
+	rec := &recorder{}
+	ex, err := affidavit.New(
+		affidavit.WithSeed(11),
+		affidavit.WithWorkers(workers),
+		affidavit.WithObserver(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.ExplainSources(context.Background(),
+		affidavit.NewCSVSource(strings.NewReader(srcCSV)),
+		affidavit.NewCSVSource(strings.NewReader(tgtCSV))); err != nil {
+		t.Fatal(err)
+	}
+	return rec.events
+}
+
+// TestObserverDeterminism: for a fixed seed the event stream is identical
+// across repeated runs AND across worker counts — the parallel engine
+// reports through the polling goroutine exactly like the sequential one.
+// Run under -race this also proves emission never races with probe
+// workers.
+func TestObserverDeterminism(t *testing.T) {
+	seq := runWithObserver(t, 1)
+	again := runWithObserver(t, 1)
+	par := runWithObserver(t, 4)
+
+	assertSameEvents(t, "repeat", seq, again)
+	assertSameEvents(t, "workers", seq, par)
+
+	// Sanity on the stream shape: ingest for both snapshots, one start,
+	// ≥ 1 poll, one convert, one done — in pipeline order.
+	var kinds []affidavit.EventKind
+	for _, ev := range seq {
+		if len(kinds) == 0 || kinds[len(kinds)-1] != ev.Kind {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	want := []affidavit.EventKind{
+		affidavit.EventIngest, affidavit.EventSearchStart, affidavit.EventPoll,
+		affidavit.EventConvert, affidavit.EventDone,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("event phases = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event phases = %v, want %v", kinds, want)
+		}
+	}
+	if seq[0].Snapshot != "source" || !seq[0].Complete {
+		t.Errorf("first event = %+v, want completed source ingest", seq[0])
+	}
+	last := seq[len(seq)-1]
+	if last.Kind != affidavit.EventDone || last.Polls == 0 || last.Cost == 0 {
+		t.Errorf("last event = %+v, want populated done event", last)
+	}
+}
+
+func assertSameEvents(t *testing.T, label string, a, b []affidavit.Event) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d events vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: event %d differs: %+v vs %+v", label, i, a[i], b[i])
+			return
+		}
+	}
+}
+
+// TestIngestChunkEvents: snapshots larger than the ingest chunk emit
+// cumulative progress events before the completion event.
+func TestIngestChunkEvents(t *testing.T) {
+	const n = 20000
+	schema, err := affidavit.NewSchema("id", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	src := affidavit.NewRowsSource(schema, func() (affidavit.Record, error) {
+		if i >= n {
+			return nil, io.EOF
+		}
+		i++
+		return affidavit.Record{string(rune('a' + i%26)), "x"}, nil
+	})
+	rec := &recorder{}
+	ex, err := affidavit.New(affidavit.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ex.ReadSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != n {
+		t.Fatalf("ingested %d records, want %d", tab.Len(), n)
+	}
+	var counts []int
+	for _, ev := range rec.events {
+		if ev.Kind != affidavit.EventIngest {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		counts = append(counts, ev.Records)
+	}
+	if len(counts) != 3 || counts[0] != 8192 || counts[1] != 16384 || counts[2] != n {
+		t.Errorf("progress counts = %v, want [8192 16384 %d]", counts, n)
+	}
+	if !rec.events[len(rec.events)-1].Complete {
+		t.Error("final ingest event not marked complete")
+	}
+}
+
+// TestMetricsObserver: the Prometheus rendering carries the run's
+// counters.
+func TestMetricsObserver(t *testing.T) {
+	src, tgt := figure1Tables(t)
+	m := affidavit.NewMetricsObserver()
+	ex, err := affidavit.New(affidavit.WithSeed(1), affidavit.WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExplainSources(context.Background(),
+		affidavit.TableSource(src), affidavit.TableSource(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`affidavit_ingested_records_total{snapshot="source"} 17`,
+		`affidavit_ingested_records_total{snapshot="target"} 16`,
+		`affidavit_runs_started_total{mode="cold"} 1`,
+		"affidavit_runs_completed_total 1",
+		"affidavit_runs_cancelled_total 0",
+		"affidavit_conversions_total 1",
+		"# TYPE affidavit_search_polls_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	if res.Stats.Polls == 0 {
+		t.Error("no polls recorded")
+	}
+}
+
+// TestObserversFanout: the composition helper forwards to every observer
+// in order, skips nils, and unwraps the single-observer case.
+func TestObserversFanout(t *testing.T) {
+	var got []string
+	a := affidavit.ObserverFunc(func(ev affidavit.Event) { got = append(got, "a:"+ev.Kind.String()) })
+	b := affidavit.ObserverFunc(func(ev affidavit.Event) { got = append(got, "b:"+ev.Kind.String()) })
+	fan := affidavit.Observers(nil, a, nil, b)
+	fan.Observe(affidavit.Event{Kind: affidavit.EventDone})
+	if len(got) != 2 || got[0] != "a:done" || got[1] != "b:done" {
+		t.Errorf("fanout order = %v", got)
+	}
+	if affidavit.Observers() != nil {
+		t.Error("empty composition should be nil")
+	}
+	if one := affidavit.Observers(nil, a); one == nil {
+		t.Error("single composition lost the observer")
+	}
+}

@@ -50,14 +50,11 @@ type Session struct {
 // ExplainBatch work immediately, while ExplainNext errors until a baseline
 // exists (ExplainWarm sets one).
 func NewSession(initial *Table, opts Options) *Session {
-	metas := metafunc.DefaultMetas()
-	metas = append(metas, opts.ExtraMetas...)
-	so := opts.toSearch()
-	return &Session{
-		inner:   session.New(initial, so, metas),
-		alpha:   so.Alpha,
-		workers: so.Workers,
+	e := &Explainer{
+		so:    opts.toSearch(),
+		metas: append(metafunc.DefaultMetas(), opts.ExtraMetas...),
 	}
+	return e.Session(initial)
 }
 
 // ExplainNext explains the difference between the chain head and next,
