@@ -36,6 +36,11 @@
 //	               memory guard now that uploads stream (default 10M)
 //	-max-snapshot  cap on each streamed snapshot's raw bytes, in MiB —
 //	               catches few-records-huge-fields bodies (default 1024)
+//	-mem-budget    approximate per-run memory budget (e.g. 256MiB): cold
+//	               column chunks, blocking group tables and conversion key
+//	               maps spill to temp files instead of growing the heap;
+//	               explanations are unchanged, /stats and /metrics report
+//	               the spilled volume
 //
 // SIGINT/SIGTERM cancel in-flight explanations cooperatively and shut the
 // listener down gracefully.

@@ -252,7 +252,7 @@ func (c *byteCap) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.left -= int64(n)
 	if c.left < 0 {
-		return n, fmt.Errorf("snapshot exceeds the byte limit (-max-snapshot)")
+		return n, fmt.Errorf("snapshot exceeds the byte limit (-max-snapshot); genuinely large snapshots can be served by raising it and bounding memory with -mem-budget instead")
 	}
 	return n, err
 }
@@ -446,6 +446,10 @@ type tableStats struct {
 type statsResponse struct {
 	Tables          map[string]tableStats `json:"tables"`
 	SessionsEvicted int                   `json:"sessions_evicted"`
+	// Out-of-core totals under -mem-budget (mirrors /metrics'
+	// affidavit_spill_bytes_total / affidavit_spill_partitions_total).
+	SpillBytes      int64 `json:"spill_bytes_total"`
+	SpillPartitions int64 `json:"spill_partitions_total"`
 }
 
 // handleStats serves GET /stats: per-table session counters plus the
@@ -465,10 +469,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	evicted := s.evicted
 	s.mu.Unlock()
+	spillBytes, spillParts := s.metrics.SpillTotals()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(statsResponse{Tables: out, SessionsEvicted: evicted}); err != nil {
+	if err := enc.Encode(statsResponse{
+		Tables:          out,
+		SessionsEvicted: evicted,
+		SpillBytes:      spillBytes,
+		SpillPartitions: spillParts,
+	}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: affidavit
+cpu: AMD EPYC 7B13
+BenchmarkChain/cold-4                  3     123456789 ns/op    9876543 B/op      1234 allocs/op
+BenchmarkChain/warm-4                  3      45678901 ns/op
+BenchmarkFigure5Rows/scale100/seq      1    9000000000 ns/op
+BenchmarkCSVSourceIngest/streamed-4    3      27485252 ns/op    61.87 MB/s    15608085 B/op    40821 allocs/op
+PASS
+ok      affidavit       12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Package != "affidavit" {
+		t.Errorf("metadata: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	// A throughput column between ns/op and B/op must not hide the
+	// allocation stats.
+	streamed := doc.Benchmarks["BenchmarkCSVSourceIngest/streamed"]
+	if streamed.BytesPerOp != 15608085 || streamed.AllocsPerOp != 40821 {
+		t.Errorf("streamed = %+v", streamed)
+	}
+	cold := doc.Benchmarks["BenchmarkChain/cold"]
+	if cold.Iterations != 3 || cold.NsPerOp != 123456789 || cold.BytesPerOp != 9876543 || cold.AllocsPerOp != 1234 {
+		t.Errorf("cold = %+v", cold)
+	}
+	warm := doc.Benchmarks["BenchmarkChain/warm"]
+	if warm.NsPerOp != 45678901 || warm.BytesPerOp != 0 {
+		t.Errorf("warm = %+v", warm)
+	}
+	// The un-suffixed GOMAXPROCS=1 form parses too.
+	if _, ok := doc.Benchmarks["BenchmarkFigure5Rows/scale100/seq"]; !ok {
+		t.Errorf("missing un-suffixed benchmark: %v", doc.Benchmarks)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error on benchless input")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"affidavit/internal/obs"
 	"affidavit/internal/search"
 	"affidavit/internal/session"
+	"affidavit/internal/spill"
 	"affidavit/internal/table"
 )
 
@@ -31,9 +32,10 @@ import (
 // run copies the configuration. Sessions created via Session share the
 // Explainer's configuration and observer.
 type Explainer struct {
-	so    search.Options
-	metas []metafunc.Meta
-	obs   Observer
+	so     search.Options
+	metas  []metafunc.Meta
+	obs    Observer
+	budget int64 // WithMemBudget; 0 = unlimited
 }
 
 // Option configures an Explainer. Options apply in order; later options
@@ -48,6 +50,15 @@ func New(opts ...Option) (*Explainer, error) {
 	e := &Explainer{so: search.DefaultOptions(), metas: metafunc.DefaultMetas()}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.budget < 0 {
+		return nil, fmt.Errorf("affidavit: memory budget must be ≥ 0, got %d", e.budget)
+	}
+	if e.budget > 0 {
+		// One manager for the Explainer's lifetime: its temp file backs the
+		// cold column chunks of every snapshot this Explainer ingests, and
+		// every run it executes spills against the same budget.
+		e.so.Spill = spill.NewManager(e.budget, "")
 	}
 	if err := e.so.Validate(); err != nil {
 		return nil, err
@@ -109,6 +120,25 @@ func WithWorkers(n int) Option { return func(e *Explainer) { e.so.Workers = n } 
 // WithWarmGuard arms the warm-start quality guard used by session warm
 // paths; 0 disables it (see Options.WarmGuard).
 func WithWarmGuard(g float64) Option { return func(e *Explainer) { e.so.WarmGuard = g } }
+
+// WithMemBudget runs every explanation under an approximate memory budget
+// of n bytes (0 = unlimited): streamed snapshots page cold column chunks
+// to a temp file once the budget's table share fills, blocking refinements
+// whose group tables would exceed their share group through disk
+// partitions, and the end-state conversion streams its multiset matching
+// partition by partition. Explanations are byte-identical to the
+// unbudgeted run for equal seeds — the budget trades disk I/O for peak
+// memory, which is what lets the paper's full 500k-row Figure 5 instance
+// run on small machines. Spill activity is observable: Stats carries the
+// run's spilled bytes/partitions, and observers receive per-stage
+// EventSpill events (metrics: affidavit_spill_bytes_total,
+// affidavit_spill_partitions_total).
+func WithMemBudget(n int64) Option { return func(e *Explainer) { e.budget = n } }
+
+// ParseMemBudget parses a human-readable byte size for WithMemBudget: a
+// plain integer (bytes) or an integer with a KB/MB/GB (decimal) or
+// KiB/MiB/GiB (binary) suffix, e.g. "256MiB". "" and "0" mean no budget.
+func ParseMemBudget(s string) (int64, error) { return spill.ParseSize(s) }
 
 // WithExtraMetas extends the built-in meta-function library with
 // domain-specific families.
@@ -187,12 +217,13 @@ func (e *Explainer) ExplainSources(ctx context.Context, source, target Source) (
 	for a := range shared {
 		shared[a] = table.NewDict()
 	}
-	src, err := e.drainSource(ctx, source, srcSchema, shared, "source")
+	ingest := &spill.Stats{}
+	src, err := e.drainSourceAcc(ctx, source, srcSchema, shared, "source", ingest)
 	if err != nil {
 		target.Close()
 		return nil, err
 	}
-	tgt, err := e.drainSource(ctx, target, tgtSchema, shared, "target")
+	tgt, err := e.drainSourceAcc(ctx, target, tgtSchema, shared, "target", ingest)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +231,17 @@ func (e *Explainer) ExplainSources(ctx context.Context, source, target Source) (
 	if err != nil {
 		return nil, err
 	}
-	return e.explainInstance(ctx, inst)
+	res, err := e.explainInstance(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	// Stats covers every stage this call performed — for a streamed pair
+	// that includes the ingest spill of the two snapshots it drained, so
+	// the one common spill scenario (wide low-distinct data that only
+	// spills chunks) doesn't read as "spilled 0 bytes".
+	res.Stats.SpilledBytes += ingest.Bytes()
+	res.Stats.SpillPartitions += ingest.Partitions()
+	return res, nil
 }
 
 // ExplainFiles is ExplainSources over two CSV files (header row = schema),
@@ -245,6 +286,13 @@ func (e *Explainer) readSource(ctx context.Context, src Source, role string) (*T
 // set shared across the snapshots of one pair, so both intern into one
 // code space.
 func (e *Explainer) drainSource(ctx context.Context, src Source, schema *Schema, dicts []*table.Dict, role string) (*Table, error) {
+	return e.drainSourceAcc(ctx, src, schema, dicts, role, nil)
+}
+
+// drainSourceAcc is drainSource with an optional accumulator the
+// snapshot's ingest-spill volume is added to (for callers that fold it
+// into a run's Stats).
+func (e *Explainer) drainSourceAcc(ctx context.Context, src Source, schema *Schema, dicts []*table.Dict, role string, acc *spill.Stats) (*Table, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -252,6 +300,11 @@ func (e *Explainer) drainSource(ctx context.Context, src Source, schema *Schema,
 	if err != nil {
 		src.Close()
 		return nil, err
+	}
+	var spillSt *spill.Stats
+	if e.so.Spill.Active() {
+		spillSt = &spill.Stats{}
+		b = b.WithSpill(e.so.Spill, spillSt)
 	}
 	emit := func(complete bool) {
 		if e.obs != nil {
@@ -283,6 +336,18 @@ func (e *Explainer) drainSource(ctx context.Context, src Source, schema *Schema,
 		return nil, fmt.Errorf("affidavit: closing %s: %w", role, err)
 	}
 	emit(true)
+	if spillSt.Bytes() > 0 {
+		acc.Note(spillSt.Bytes(), int(spillSt.Partitions()))
+		if e.obs != nil {
+			e.obs.Observe(Event{
+				Kind:       obs.KindSpill,
+				Component:  "ingest",
+				Snapshot:   role,
+				SpillBytes: spillSt.Bytes(),
+				SpillParts: spillSt.Partitions(),
+			})
+		}
+	}
 	return b.Table(), nil
 }
 

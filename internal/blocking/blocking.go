@@ -19,6 +19,7 @@ import (
 
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
 )
 
 // Block is one ϕ(κ): the source and target records sharing blocking index
@@ -114,6 +115,8 @@ type Result struct {
 	tgtBlockOf []int32
 	workers    int             // ≤ 1 = fully sequential refinement
 	ctx        context.Context // nil = never cancelled
+	spillM     *spill.Manager  // nil/inactive = always group in memory
+	spillSt    *spill.Stats    // spill accounting sink (may be nil)
 }
 
 // New returns the blocking result of the all-undecided state: a single
@@ -168,6 +171,29 @@ func (r *Result) WithContext(ctx context.Context) *Result {
 	return &nr
 }
 
+// WithSpill returns a result whose refinements — and those of every result
+// derived from it — group externally whenever one parent block's in-memory
+// group table would exceed the manager's share of the memory budget: the
+// block's (position, split code) tuples are hash-partitioned to a temp
+// file and grouped one partition at a time (grace-hash grouping). The
+// budget governs the grouping's *working set* — only one partition's hash
+// table is ever resident; flat O(distinct) metadata (per-group counts,
+// first positions, and the refined Result's own block arrays) remains,
+// because it IS the refinement's output. In practice that trades ~48
+// bytes of hash-table entry per distinct split code for disk I/O plus
+// ~32 bytes of flat arrays. The external and in-memory paths produce
+// byte-identical results; spilled volume is recorded into st (which may
+// be nil). An inactive manager returns the receiver unchanged.
+func (r *Result) WithSpill(m *spill.Manager, st *spill.Stats) *Result {
+	if !m.Active() {
+		return r
+	}
+	nr := *r
+	nr.spillM = m
+	nr.spillSt = st
+	return &nr
+}
+
 // parallelBlockMin is the record count at which Refine partitions one
 // block's grouping across goroutines. Below it the per-chunk bookkeeping
 // outweighs the hash work; above it one huge block (the common shape early
@@ -209,6 +235,21 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 	distinct := r.coded.Dicts[attr].Len()
 	for _, b := range r.blocks {
 		n := len(b.Src) + len(b.Tgt)
+		// est bounds the block's group-map memory: one map entry (~48
+		// bytes) per distinct split code, itself bounded by both the block
+		// size and the attribute's dictionary.
+		est := int64(distinct)
+		if int64(n) < est {
+			est = int64(n)
+		}
+		est *= 48
+		if r.spillM.ShouldSpillGroup(est) {
+			if g.groupExternal(b, r.spillM, r.spillSt, est) == nil {
+				continue
+			}
+			// Disk trouble: the budget is advisory — fall through to the
+			// in-memory path rather than fail the refinement.
+		}
 		if r.workers > 1 && n >= parallelBlockMin && distinct*8 <= n {
 			g.groupParallel(b, r.workers)
 		} else {
@@ -250,6 +291,8 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 		tgtBlockOf: g.tgtBlockOf,
 		workers:    r.workers,
 		ctx:        r.ctx,
+		spillM:     r.spillM,
+		spillSt:    r.spillSt,
 	}
 }
 

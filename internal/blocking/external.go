@@ -1,0 +1,137 @@
+package blocking
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"affidavit/internal/spill"
+)
+
+// External (grace-hash) grouping: when one parent block's group map would
+// blow the memory budget — the early-search shape where a single block
+// holds every record and the split attribute is key-like — the block's
+// (scan position, split code) tuples are hash-partitioned to a temp file
+// and grouped one partition at a time, so only one partition's map is ever
+// resident. The sequential numbering contract (sub-blocks ordered by first
+// appearance in the scan order: all of b.Src, then all of b.Tgt) is
+// restored by sorting the per-partition groups on their first-appearance
+// position, which makes the external path byte-identical to the in-memory
+// one.
+
+// codePart hashes a split code onto a partition (Knuth multiplicative;
+// the write and rewrite phases must agree).
+func codePart(c int32, parts uint32) int {
+	return int((uint32(c) * 2654435761) % parts)
+}
+
+// extGroup is one distinct split code's group within a partition.
+type extGroup struct {
+	code  int32
+	first uint32 // scan position of the group's first record
+	cntS  int32
+	cntT  int32
+	g     int32 // global sub-block index, assigned after the order merge
+}
+
+// groupExternal splits one parent block via disk partitions. On any I/O
+// error the grouper state for this block is untouched (blockOf entries may
+// hold parked local indices, but the caller immediately re-groups the
+// block in memory, overwriting them) and the error is returned so the
+// caller can fall back.
+func (g *grouper) groupExternal(b *Block, m *spill.Manager, st *spill.Stats, est int64) error {
+	nS := len(b.Src)
+	parts := m.GroupPartitions(est)
+	pg, err := m.NewPager(parts, 8, st)
+	if err != nil {
+		return err
+	}
+	defer pg.Close()
+
+	// Phase 1: scatter (position, code) tuples to their code's partition.
+	var rec [8]byte
+	write := func(pos int, c int32) error {
+		binary.LittleEndian.PutUint32(rec[:4], uint32(pos))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(c))
+		return pg.Write(codePart(c, uint32(parts)), rec[:])
+	}
+	for pos, s := range b.Src {
+		if err := write(pos, g.memo[g.srcCodes[s]]); err != nil {
+			return err
+		}
+	}
+	for i, t := range b.Tgt {
+		if err := write(nS+i, g.tgtCodes[t]); err != nil {
+			return err
+		}
+	}
+	if err := pg.Flush(); err != nil {
+		return err
+	}
+
+	// Phase 2: group one partition at a time, parking each record's
+	// partition-local group index in the global blockOf arrays (exactly the
+	// trick groupParallel uses for its chunk-local indices).
+	groups := make([][]extGroup, parts)
+	local := make(map[int32]int32)
+	for part := 0; part < parts; part++ {
+		clear(local)
+		err := pg.ReadPart(part, func(rec []byte) error {
+			pos := binary.LittleEndian.Uint32(rec[:4])
+			c := int32(binary.LittleEndian.Uint32(rec[4:]))
+			li, ok := local[c]
+			if !ok {
+				li = int32(len(groups[part]))
+				local[c] = li
+				groups[part] = append(groups[part], extGroup{code: c, first: pos})
+			}
+			e := &groups[part][li]
+			if int(pos) < nS {
+				e.cntS++
+				g.srcBlockOf[b.Src[pos]] = li
+			} else {
+				e.cntT++
+				g.tgtBlockOf[b.Tgt[int(pos)-nS]] = li
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: merge the partition groups into the sequential numbering.
+	// Each group's first-appearance position is unique, so sorting on it
+	// reproduces the in-memory first-appearance order exactly.
+	type ordRef struct {
+		first uint32
+		part  int32
+		local int32
+	}
+	ord := make([]ordRef, 0, 16)
+	for part, gs := range groups {
+		for li := range gs {
+			ord = append(ord, ordRef{first: gs[li].first, part: int32(part), local: int32(li)})
+		}
+	}
+	sort.Slice(ord, func(i, j int) bool { return ord[i].first < ord[j].first })
+	for _, o := range ord {
+		e := &groups[o.part][o.local]
+		e.g = int32(len(g.codes))
+		g.codes = append(g.codes, e.code)
+		g.cntS = append(g.cntS, e.cntS)
+		g.cntT = append(g.cntT, e.cntT)
+	}
+
+	// Phase 4: rewrite parked local indices to global ones. The split code
+	// — and with it the partition — is recomputed from the in-memory code
+	// columns, so no second file pass is needed.
+	for _, s := range b.Src {
+		part := codePart(g.memo[g.srcCodes[s]], uint32(parts))
+		g.srcBlockOf[s] = groups[part][g.srcBlockOf[s]].g
+	}
+	for _, t := range b.Tgt {
+		part := codePart(g.tgtCodes[t], uint32(parts))
+		g.tgtBlockOf[t] = groups[part][g.tgtBlockOf[t]].g
+	}
+	return nil
+}

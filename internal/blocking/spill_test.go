@@ -1,0 +1,65 @@
+package blocking_test
+
+import (
+	"fmt"
+	"testing"
+
+	"affidavit/internal/blocking"
+	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
+)
+
+// TestExternalGroupingEquivalence: a budget tiny enough that every
+// refinement of a high-cardinality attribute groups through disk
+// partitions produces byte-identical blocking results — same block order,
+// record order and record→block maps — to the in-memory path, alone and
+// combined with worker partitioning.
+func TestExternalGroupingEquivalence(t *testing.T) {
+	inst := bigInstance(t, 30000)
+	refine := func(r *blocking.Result) []*blocking.Result {
+		a := r.Refine(0, metafunc.Identity{}) // key-like: huge group table
+		b := a.Refine(2, add7())
+		c := r.Refine(1, metafunc.Identity{}) // low cardinality: in-memory even under budget
+		d := c.Refine(0, metafunc.Identity{})
+		return []*blocking.Result{a, b, c, d}
+	}
+	want := refine(blocking.New(inst))
+	for _, budget := range []int64{1 << 12, 1 << 16, 1 << 20} {
+		m := spill.NewManager(budget, t.TempDir())
+		st := &spill.Stats{}
+		got := refine(blocking.New(inst).WithSpill(m, st))
+		for i := range want {
+			assertSameBlocking(t, fmt.Sprintf("budget=%d step %d", budget, i), want[i], got[i])
+		}
+		if st.Bytes() == 0 {
+			t.Fatalf("budget=%d: no spill activity on a high-cardinality refinement", budget)
+		}
+		if st.Partitions() == 0 {
+			t.Fatalf("budget=%d: no partitions recorded", budget)
+		}
+		gotPar := refine(blocking.New(inst).WithSpill(m, st).WithWorkers(4))
+		for i := range want {
+			assertSameBlocking(t, fmt.Sprintf("budget=%d+workers step %d", budget, i), want[i], gotPar[i])
+		}
+	}
+}
+
+// TestExternalGroupingSurplus: cost bounds from an externally grouped
+// refinement match the in-memory ones.
+func TestExternalGroupingSurplus(t *testing.T) {
+	inst := bigInstance(t, 15000)
+	m := spill.NewManager(1<<14, t.TempDir())
+	seq := blocking.New(inst).Refine(0, metafunc.Identity{})
+	ext := blocking.New(inst).WithSpill(m, &spill.Stats{}).Refine(0, metafunc.Identity{})
+	if seq.TargetSurplus() != ext.TargetSurplus() {
+		t.Errorf("target surplus %d vs %d", seq.TargetSurplus(), ext.TargetSurplus())
+	}
+	if seq.SourceSurplus() != ext.SourceSurplus() {
+		t.Errorf("source surplus %d vs %d", seq.SourceSurplus(), ext.SourceSurplus())
+	}
+	for a := 0; a < inst.NumAttrs(); a++ {
+		if seq.Indeterminacy(a) != ext.Indeterminacy(a) {
+			t.Errorf("attr %d: indeterminacy %d vs %d", a, seq.Indeterminacy(a), ext.Indeterminacy(a))
+		}
+	}
+}

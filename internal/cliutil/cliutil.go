@@ -14,21 +14,23 @@ import (
 
 	"affidavit"
 	"affidavit/internal/search"
+	"affidavit/internal/spill"
 )
 
 // Flags holds the registered flag values. Zero int/float flags mean "the
 // configuration default", matching the historical cmd behaviour.
 type Flags struct {
-	Start    *string
-	Alpha    *float64
-	Beta     *int
-	Rho      *int
-	Theta    *float64
-	Conf     *float64
-	MaxBlock *int
-	Seed     *int64
-	Workers  *int
-	Progress *bool
+	Start     *string
+	Alpha     *float64
+	Beta      *int
+	Rho       *int
+	Theta     *float64
+	Conf      *float64
+	MaxBlock  *int
+	Seed      *int64
+	Workers   *int
+	Progress  *bool
+	MemBudget *string
 }
 
 // Defaults parameterises per-cmd flag defaults.
@@ -39,17 +41,27 @@ type Defaults struct {
 // Register installs the shared search flags on fs.
 func Register(fs *flag.FlagSet, d Defaults) *Flags {
 	return &Flags{
-		Start:    fs.String("start", "hid", "start strategy: hid | hs | empty"),
-		Alpha:    fs.Float64("alpha", 0.5, "cost parameter α in [0,1]"),
-		Beta:     fs.Int("beta", 0, "branching factor β (0 = config default)"),
-		Rho:      fs.Int("rho", 0, "queue width ϱ (0 = config default)"),
-		Theta:    fs.Float64("theta", 0.1, "estimated effect fraction θ"),
-		Conf:     fs.Float64("conf", 0.95, "sampling confidence ρ"),
-		MaxBlock: fs.Int("max-block", 100000, "overlap-matching block threshold (hs)"),
-		Seed:     fs.Int64("seed", d.Seed, "random seed (equal seeds give equal explanations)"),
-		Workers:  fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)"),
-		Progress: fs.Bool("progress", false, "narrate pipeline progress (ingest, polls, phases) on stderr"),
+		Start:     fs.String("start", "hid", "start strategy: hid | hs | empty"),
+		Alpha:     fs.Float64("alpha", 0.5, "cost parameter α in [0,1]"),
+		Beta:      fs.Int("beta", 0, "branching factor β (0 = config default)"),
+		Rho:       fs.Int("rho", 0, "queue width ϱ (0 = config default)"),
+		Theta:     fs.Float64("theta", 0.1, "estimated effect fraction θ"),
+		Conf:      fs.Float64("conf", 0.95, "sampling confidence ρ"),
+		MaxBlock:  fs.Int("max-block", 100000, "overlap-matching block threshold (hs)"),
+		Seed:      fs.Int64("seed", d.Seed, "random seed (equal seeds give equal explanations)"),
+		Workers:   fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent search probes (1 = sequential engine)"),
+		Progress:  fs.Bool("progress", false, "narrate pipeline progress (ingest, polls, phases) on stderr"),
+		MemBudget: fs.String("mem-budget", "", "approximate per-run memory budget, e.g. 256MiB (empty = unlimited); beyond it cold column chunks, blocking group tables and the conversion's key maps spill to temp files — explanations are byte-identical, only peak memory changes"),
 	}
+}
+
+// memBudget parses the -mem-budget flag (0 when unset).
+func (f *Flags) memBudget() (int64, error) {
+	n, err := spill.ParseSize(*f.MemBudget)
+	if err != nil {
+		return 0, fmt.Errorf("-mem-budget: %w", err)
+	}
+	return n, nil
 }
 
 // ProgressObserver returns the stderr narrator when -progress was set,
@@ -87,6 +99,11 @@ func (f *Flags) Options(extra ...affidavit.Option) ([]affidavit.Option, error) {
 		affidavit.WithSeed(*f.Seed),
 		affidavit.WithWorkers(*f.Workers),
 	)
+	if budget, err := f.memBudget(); err != nil {
+		return nil, err
+	} else if budget > 0 {
+		opts = append(opts, affidavit.WithMemBudget(budget))
+	}
 	if *f.Beta > 0 {
 		opts = append(opts, affidavit.WithBeta(*f.Beta))
 	}
@@ -133,6 +150,11 @@ func (f *Flags) SearchOptions() (search.Options, error) {
 	so.MaxBlockSize = *f.MaxBlock
 	so.Seed = *f.Seed
 	so.Workers = *f.Workers
+	if budget, err := f.memBudget(); err != nil {
+		return so, err
+	} else if budget > 0 {
+		so.Spill = spill.NewManager(budget, "")
+	}
 	if o := f.ProgressObserver(); o != nil {
 		so.OnEvent = o.Observe
 	}

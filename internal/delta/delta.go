@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
 	"affidavit/internal/table"
 )
 
@@ -199,6 +200,14 @@ type BuildOptions struct {
 	// matching by key, which the greedy procedure resolves independently
 	// per key anyway.
 	Workers int
+	// Spill, when active, bounds the matching's memory: if the in-memory
+	// key map's estimated size exceeds the budget's share, the matching
+	// hash-partitions both snapshots' code tuples to temp files and matches
+	// one bounded partition at a time (concurrently across partitions when
+	// Workers > 1). Explanations are byte-identical to the in-memory path.
+	Spill *spill.Manager
+	// SpillStats, when non-nil, accumulates the spilled volume.
+	SpillStats *spill.Stats
 }
 
 // Build constructs a valid explanation from an attribute-function tuple by
@@ -235,9 +244,21 @@ func BuildCtx(ctx context.Context, inst *Instance, funcs FuncTuple, opts BuildOp
 		return nil, err
 	}
 	var matchOf []int32
-	if opts.Workers > 1 {
+	switch {
+	case opts.Spill.ShouldSpillMatch(matchEstimate(inst.NumAttrs(), inst.Target.Len())):
+		matchOf, err = matchExternal(ctx, inst, co, memos, opts.Workers, opts.Spill, opts.SpillStats)
+		if err != nil && ctx.Err() == nil {
+			// Disk trouble (not cancellation): the budget is advisory, so
+			// fall back to the in-memory matcher rather than fail the run.
+			if opts.Workers > 1 {
+				matchOf, err = matchSharded(ctx, inst, co, memos, opts.Workers)
+			} else {
+				matchOf, err = matchSequential(ctx, inst, co, memos)
+			}
+		}
+	case opts.Workers > 1:
 		matchOf, err = matchSharded(ctx, inst, co, memos, opts.Workers)
-	} else {
+	default:
 		matchOf, err = matchSequential(ctx, inst, co, memos)
 	}
 	if err != nil {

@@ -1,0 +1,163 @@
+package delta
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+
+	"affidavit/internal/spill"
+)
+
+// External (grace-hash) matching: the end-state conversion's greedy
+// multiset matching normally holds the whole target snapshot's key map in
+// memory. Under a memory budget the matching streams instead — every
+// target tuple and every source image tuple is hash-partitioned to temp
+// files keyed by its packed code tuple, and each partition is matched
+// independently with a map bounded by the partition's share of the budget.
+// Keys partition the greedy procedure (see shard.go), and within one
+// partition records replay in ascending record order, so the union of
+// partition matchings is exactly the sequential matching: explanations are
+// byte-identical to the in-memory path.
+
+// matchEstimate approximates the in-memory matcher's peak: one key-map
+// entry (string header + packed codes + slice + bucket overhead) per
+// target record.
+func matchEstimate(d, nTgt int) int64 {
+	return int64(nTgt) * int64(88+4*d)
+}
+
+// matchExternal computes matchOf with disk-partitioned matching. parts and
+// partition assignment derive from the same fnv1a64 tuple hash the sharded
+// matcher uses. Partitions are independent, so with workers > 1 they match
+// concurrently — each writes a disjoint slice of matchOf.
+func matchExternal(ctx context.Context, inst *Instance, co *Coded, memos [][]int32, workers int, m *spill.Manager, st *spill.Stats) ([]int32, error) {
+	d := inst.NumAttrs()
+	nSrc, nTgt := inst.Source.Len(), inst.Target.Len()
+	parts := m.MatchPartitions(matchEstimate(d, nTgt))
+
+	tp, err := m.NewPager(parts, 4+4*d, st)
+	if err != nil {
+		return nil, err
+	}
+	defer tp.Close()
+	sp, err := m.NewPager(parts, 4+4*d, st)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Close()
+
+	// Phase 1: scatter (record index, packed code tuple) to the tuple's
+	// partition; the packed bytes double as the match key.
+	rec := make([]byte, 4+4*d)
+	scatter := func(pg *spill.Pager, i int, code func(a int) int32) (bool, error) {
+		h := uint64(fnvOffset64)
+		for a := 0; a < d; a++ {
+			c := code(a)
+			if c < 0 {
+				return false, nil
+			}
+			h = (h ^ uint64(uint32(c))) * fnvPrime64
+			binary.LittleEndian.PutUint32(rec[4+4*a:], uint32(c))
+		}
+		binary.LittleEndian.PutUint32(rec, uint32(i))
+		return true, pg.Write(int(h%uint64(parts)), rec)
+	}
+	for t := 0; t < nTgt; t++ {
+		if t&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := scatter(tp, t, func(a int) int32 { return co.Tgt[a][t] }); err != nil {
+			return nil, err
+		}
+	}
+	matchOf := make([]int32, nSrc)
+	for s := 0; s < nSrc; s++ {
+		if s&buildCancelMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		matchOf[s] = -1
+		if _, err := scatter(sp, s, func(a int) int32 { return imageCode(co, memos, a, s) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := tp.Flush(); err != nil {
+		return nil, err
+	}
+	if err := sp.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: match partition by partition. One partition's key map is
+	// ~1/parts of the in-memory matcher's, which is what the budget bought.
+	matchPart := func(part int) error {
+		free := make(map[string][]int32)
+		n := 0
+		err := tp.ReadPart(part, func(rec []byte) error {
+			if n&buildCancelMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			n++
+			t := int32(binary.LittleEndian.Uint32(rec))
+			k := string(rec[4:])
+			free[k] = append(free[k], t)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return sp.ReadPart(part, func(rec []byte) error {
+			if n&buildCancelMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			n++
+			s := int32(binary.LittleEndian.Uint32(rec))
+			if q := free[string(rec[4:])]; len(q) > 0 {
+				matchOf[s] = q[0]
+				free[string(rec[4:])] = q[1:]
+			}
+			return nil
+		})
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		sem := make(chan struct{}, workers)
+		for part := 0; part < parts; part++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(part int) {
+				defer func() {
+					<-sem
+					wg.Done()
+				}()
+				if err := matchPart(part); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(part)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for part := 0; part < parts; part++ {
+			if err := matchPart(part); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return matchOf, nil
+}

@@ -1,0 +1,86 @@
+package delta_test
+
+import (
+	"context"
+	"testing"
+
+	"affidavit/internal/datasets"
+	"affidavit/internal/delta"
+	"affidavit/internal/gen"
+	"affidavit/internal/spill"
+)
+
+// TestBuildExternalMatchesSequential: under a budget tiny enough that the
+// matching always partitions to disk, BuildCtx reproduces the in-memory
+// explanation byte for byte on every registry dataset — sequentially and
+// with partitions matched concurrently. Run under -race this also
+// exercises the concurrent partition reads.
+func TestBuildExternalMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range datasets.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tab, err := spec.BuildRows(shardRows(spec), 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, funcs := range map[string]delta.FuncTuple{
+				"reference": p.Reference.Funcs,
+				"identity":  delta.IdentityTuple(p.Inst.NumAttrs()),
+			} {
+				seq, err := delta.Build(p.Inst, funcs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					st := &spill.Stats{}
+					ext, err := delta.BuildCtx(context.Background(), p.Inst, funcs, delta.BuildOptions{
+						Workers:    workers,
+						Spill:      spill.NewManager(1<<12, dir),
+						SpillStats: st,
+					})
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", name, workers, err)
+					}
+					if err := ext.Validate(); err != nil {
+						t.Fatalf("%s workers=%d: %v", name, workers, err)
+					}
+					if st.Bytes() == 0 || st.Partitions() == 0 {
+						t.Fatalf("%s workers=%d: matching did not spill (bytes=%d parts=%d)",
+							name, workers, st.Bytes(), st.Partitions())
+					}
+					assertSameExplanation(t, seq, ext)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildExternalCancelled: cancellation propagates out of the external
+// matcher instead of falling back to the in-memory path.
+func TestBuildExternalCancelled(t *testing.T) {
+	ds, err := datasets.Get("ncvoter-1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := delta.BuildCtx(ctx, p.Inst, p.Reference.Funcs, delta.BuildOptions{
+		Spill: spill.NewManager(1<<12, t.TempDir()),
+	}); err == nil {
+		t.Error("want context error, got nil")
+	}
+}

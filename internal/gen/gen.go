@@ -13,6 +13,7 @@ import (
 
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
 	"affidavit/internal/table"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	MaxDistinctRatio float64
 	// KeyAttr names the artificial primary-key attribute. Default "rid".
 	KeyAttr string
+	// Spill, when active, builds the snapshots under its memory budget:
+	// the generated tables page cold code chunks to the manager's temp
+	// file, so full-size Figure 5 instances materialise without holding
+	// both snapshots' columns resident. Generated values are identical.
+	Spill *spill.Manager
 }
 
 // Problem is a generated instance plus its ground truth.
@@ -59,14 +65,21 @@ type Problem struct {
 	bp *blueprint
 }
 
+// blueprint references the filtered dataset by record index instead of
+// materialising row tuples: core and noise sets are index slices, and
+// realize streams the snapshots straight into columnar builders. A 500k-row
+// problem therefore costs the (interned) dataset plus index arrays, never a
+// [][]string copy of every split.
 type blueprint struct {
-	schema   *table.Schema // post-filter, pre-key
-	core     []table.Record
-	srcNoise []table.Record
-	tgtNoise []table.Record
+	filtered *table.Table // post-filter, pre-key
+	core     []int32      // filtered-record indices
+	srcNoise []int32
+	tgtNoise []int32
 	funcs    []sampledFunc // one per data attribute
 	cfg      Config
 }
+
+func (bp *blueprint) schema() *table.Schema { return bp.filtered.Schema() }
 
 // sampledFunc is either a concrete function or a value-mapping permutation
 // (kept as a permutation so Scale can re-derive pruned mappings).
@@ -135,18 +148,18 @@ func Generate(dataset *table.Table, cfg Config) (*Problem, error) {
 		return nil, fmt.Errorf("gen: η=%v leaves no core records", cfg.Eta)
 	}
 	perm := rng.Perm(n)
-	rows := func(idx []int) []table.Record {
-		out := make([]table.Record, len(idx))
-		for i, j := range idx {
-			out[i] = filtered.Record(j).Clone()
+	idx := func(part []int) []int32 {
+		out := make([]int32, len(part))
+		for i, j := range part {
+			out[i] = int32(j)
 		}
 		return out
 	}
 	bp := &blueprint{
-		schema:   filtered.Schema(),
-		core:     rows(perm[:core]),
-		srcNoise: rows(perm[core : core+noisePerSide]),
-		tgtNoise: rows(perm[core+noisePerSide:]),
+		filtered: filtered,
+		core:     idx(perm[:core]),
+		srcNoise: idx(perm[core : core+noisePerSide]),
+		tgtNoise: idx(perm[core+noisePerSide:]),
 		cfg:      cfg,
 	}
 
@@ -174,11 +187,15 @@ func Generate(dataset *table.Table, cfg Config) (*Problem, error) {
 }
 
 // realize builds snapshots, instance and reference explanation from a
-// blueprint.
+// blueprint. Snapshots are streamed position by position into columnar
+// builders (optionally spilling under cfg.Spill) — record values are
+// decoded from the filtered dataset on the fly, so no row-tuple copy of
+// either snapshot ever exists.
 func (bp *blueprint) realize(rng *rand.Rand) (*Problem, error) {
-	d := bp.schema.Len()
-	nSrc := len(bp.core) + len(bp.srcNoise)
-	nTgt := len(bp.core) + len(bp.tgtNoise)
+	d := bp.schema().Len()
+	nCore := len(bp.core)
+	nSrc := nCore + len(bp.srcNoise)
+	nTgt := nCore + len(bp.tgtNoise)
 
 	// Concrete functions, with value-mapping permutations restricted to the
 	// values that actually occur in this realisation.
@@ -189,9 +206,9 @@ func (bp *blueprint) realize(rng *rand.Rand) (*Problem, error) {
 			continue
 		}
 		live := map[string]bool{}
-		for _, rows := range [][]table.Record{bp.core, bp.srcNoise, bp.tgtNoise} {
-			for _, r := range rows {
-				live[r[a]] = true
+		for _, idx := range [][]int32{bp.core, bp.srcNoise, bp.tgtNoise} {
+			for _, j := range idx {
+				live[bp.filtered.Value(int(j), a)] = true
 			}
 		}
 		funcs[a] = bp.funcs[a].build(live)
@@ -215,45 +232,72 @@ func (bp *blueprint) realize(rng *rand.Rand) (*Problem, error) {
 		tgtPosOf[logical] = pos
 	}
 
-	schema, err := bp.schema.WithAttr(bp.cfg.KeyAttr)
+	schema, err := bp.schema().WithAttr(bp.cfg.KeyAttr)
 	if err != nil {
 		return nil, err
 	}
-	srcRows := make([]table.Record, nSrc)
-	tgtRows := make([]table.Record, nTgt)
-	keyMap := make(map[string]string, len(bp.core))
-	apply := func(r table.Record) table.Record {
-		out := make(table.Record, d)
-		for a := 0; a < d; a++ {
-			out[a] = funcs[a].Apply(r[a])
-		}
-		return out
-	}
-	// Logical source rows: core 0..c-1, then source noise. Logical target
-	// rows: core images 0..c-1, then transformed target noise.
-	for i, r := range bp.core {
-		srcRows[srcPosOf[i]] = append(r.Clone(), key(srcKeys[i]))
-		tgtRows[tgtPosOf[i]] = append(apply(r), key(tgtKeys[i]))
+	keyMap := make(map[string]string, nCore)
+	for i := 0; i < nCore; i++ {
 		keyMap[key(srcKeys[i])] = key(tgtKeys[i])
 	}
-	for i, r := range bp.srcNoise {
-		logical := len(bp.core) + i
-		srcRows[srcPosOf[logical]] = append(r.Clone(), key(srcKeys[logical]))
+	// Logical source rows: core 0..c-1, then source noise. Logical target
+	// rows: core images 0..c-1, then transformed target noise. Each
+	// snapshot is appended in *position* order, decoding the underlying
+	// filtered record (and applying the tuple, on the target side) as it
+	// goes. Both snapshots intern into one shared dictionary set that then
+	// seeds the instance, so Coded() reuses the stored codes instead of
+	// re-interning 2·|S| records — nothing downstream depends on numeric
+	// code order, so explanations are unaffected.
+	shared := make([]*table.Dict, schema.Len())
+	for a := range shared {
+		shared[a] = table.NewDict()
 	}
-	for i, r := range bp.tgtNoise {
-		logical := len(bp.core) + i
-		tgtRows[tgtPosOf[logical]] = append(apply(r), key(tgtKeys[logical]))
+	build := func(n int, order []int, emit func(rec table.Record, logical int)) (*table.Table, error) {
+		b, err := table.NewBuilder(schema, shared)
+		if err != nil {
+			return nil, err
+		}
+		if bp.cfg.Spill.Active() {
+			b = b.WithSpill(bp.cfg.Spill, nil)
+		}
+		rec := make(table.Record, d+1)
+		for pos := 0; pos < n; pos++ {
+			emit(rec, order[pos])
+			if err := b.Append(rec); err != nil {
+				return nil, err
+			}
+		}
+		return b.Table(), nil
 	}
-
-	src, err := table.FromRows(schema, srcRows)
+	src, err := build(nSrc, srcOrder, func(rec table.Record, logical int) {
+		base := bp.core
+		i := logical
+		if logical >= nCore {
+			base, i = bp.srcNoise, logical-nCore
+		}
+		for a := 0; a < d; a++ {
+			rec[a] = bp.filtered.Value(int(base[i]), a)
+		}
+		rec[d] = key(srcKeys[logical])
+	})
 	if err != nil {
 		return nil, err
 	}
-	tgt, err := table.FromRows(schema, tgtRows)
+	tgt, err := build(nTgt, tgtOrder, func(rec table.Record, logical int) {
+		base := bp.core
+		i := logical
+		if logical >= nCore {
+			base, i = bp.tgtNoise, logical-nCore
+		}
+		for a := 0; a < d; a++ {
+			rec[a] = funcs[a].Apply(bp.filtered.Value(int(base[i]), a))
+		}
+		rec[d] = key(tgtKeys[logical])
+	})
 	if err != nil {
 		return nil, err
 	}
-	inst, err := delta.NewInstance(src, tgt, nil)
+	inst, err := delta.NewInstanceWithDicts(src, tgt, nil, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -291,20 +335,20 @@ func (p *Problem) Scale(frac float64, seed int64) (*Problem, error) {
 		return nil, fmt.Errorf("gen: scale fraction must be in (0,1], got %v", frac)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	take := func(rows []table.Record, f float64) []table.Record {
+	take := func(rows []int32, f float64) []int32 {
 		k := int(float64(len(rows)) * f)
 		if k < 1 && len(rows) > 0 {
 			k = 1
 		}
 		idx := rng.Perm(len(rows))[:k]
-		out := make([]table.Record, k)
+		out := make([]int32, k)
 		for i, j := range idx {
 			out[i] = rows[j]
 		}
 		return out
 	}
 	nbp := &blueprint{
-		schema:   p.bp.schema,
+		filtered: p.bp.filtered,
 		core:     take(p.bp.core, frac),
 		srcNoise: take(p.bp.srcNoise, frac),
 		tgtNoise: take(p.bp.tgtNoise, frac),

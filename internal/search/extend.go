@@ -8,6 +8,7 @@ import (
 	"affidavit/internal/align"
 	"affidavit/internal/delta"
 	"affidavit/internal/induce"
+	"affidavit/internal/spill"
 )
 
 // extensions implements the Extensions(H) procedure of Algorithm 1:
@@ -170,6 +171,12 @@ type engine struct {
 	rng   *rand.Rand
 	stats *Stats
 	sem   chan struct{} // worker-pool slots; nil = sequential engine
+
+	// Per-run spill accounting (nil without a budget): refinement grouping
+	// and end-state matching report here, and the totals surface as Stats
+	// fields and KindSpill events.
+	groupSpill *spill.Stats
+	matchSpill *spill.Stats
 }
 
 // done reports whether the run's context was cancelled. Checked once per

@@ -12,6 +12,7 @@ import (
 	"affidavit/internal/induce"
 	"affidavit/internal/metafunc"
 	"affidavit/internal/obs"
+	"affidavit/internal/spill"
 )
 
 // StartStrategy selects the set of start states H₀ (Section 4.2).
@@ -127,6 +128,16 @@ type Options struct {
 	// trivial-explanation cost — the compression-ratio baseline the guard
 	// compares against. Must be ≥ 0. Sessions fill it automatically.
 	WarmPrevRatio float64
+	// Spill, when active, runs the search under its memory budget: any
+	// blocking refinement whose group table would exceed the budget's
+	// share groups externally (grace-hash partitions on temp files), and
+	// the end-state conversion's multiset matching streams disk partitions
+	// instead of holding the whole target key map. Explanations are
+	// byte-identical to the unbudgeted run for equal seeds; the run's
+	// spill totals land in Stats and in one KindSpill event per spilling
+	// stage, emitted just before the done event. Nil (or a zero-budget
+	// manager) disables spilling.
+	Spill *spill.Manager
 }
 
 // DefaultOptions returns the paper's H^id evaluation configuration
@@ -205,6 +216,14 @@ type Stats struct {
 	// WarmEscalated reports that the warm-start quality guard rejected the
 	// warm states as stale and the run fell back to a cold search.
 	WarmEscalated bool
+	// SpilledBytes is the volume this run wrote to spill files under a
+	// memory budget (blocking's external grouping plus the conversion's
+	// external matching; streamed front-end calls such as ExplainSources
+	// additionally fold in the ingest spill of the snapshots they drained
+	// themselves); 0 without a budget.
+	SpilledBytes int64
+	// SpillPartitions counts the external partitions those spills created.
+	SpillPartitions int64
 }
 
 // Result is a finished run: the explanation, its cost, and run statistics.
@@ -226,7 +245,21 @@ type Result struct {
 // converted like an ordinary end state — and returns that explanation with
 // Stats.Cancelled set and a nil error. Callers that must distinguish
 // complete from interrupted results check Stats.Cancelled.
-func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, error) {
+func Run(ctx context.Context, inst *delta.Instance, opts Options) (res *Result, err error) {
+	// Spilled tables cannot surface read errors through the table accessor
+	// signatures, so a failed spill-file read arrives as a *spill.ReadError
+	// panic. Every such read in a run happens on this goroutine (probes only
+	// touch the in-memory coded columns), so containing it here turns a
+	// disk fault into a failed run instead of a dead process.
+	defer func() {
+		if p := recover(); p != nil {
+			re, ok := p.(*spill.ReadError)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, fmt.Errorf("search: %w", re)
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -248,6 +281,10 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		stats: &Stats{},
 	}
+	if opts.Spill.Active() {
+		e.groupSpill = &spill.Stats{}
+		e.matchSpill = &spill.Stats{}
+	}
 	if opts.Workers > 1 {
 		// The polling goroutine participates in probe evaluation, so the
 		// semaphore holds Workers−1 extra slots.
@@ -259,6 +296,29 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		}
 		e.stats.Duration = time.Since(start)
 		cost := e.cm.Cost(expl)
+		// Spill totals are aggregated per run and emitted from the polling
+		// goroutine just before the done event: both engines evaluate the
+		// same refinements for a fixed seed, so the totals — like every
+		// other event — are deterministic regardless of Workers.
+		for _, sp := range []struct {
+			component string
+			st        *spill.Stats
+		}{
+			{"blocking", e.groupSpill},
+			{"convert", e.matchSpill},
+		} {
+			if sp.st.Bytes() == 0 && sp.st.Partitions() == 0 {
+				continue
+			}
+			e.stats.SpilledBytes += sp.st.Bytes()
+			e.stats.SpillPartitions += sp.st.Partitions()
+			e.emit(obs.Event{
+				Kind:       obs.KindSpill,
+				Component:  sp.component,
+				SpillBytes: sp.st.Bytes(),
+				SpillParts: sp.st.Partitions(),
+			})
+		}
 		e.emit(obs.Event{
 			Kind:      obs.KindDone,
 			Polls:     e.stats.Polls,
@@ -280,7 +340,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 		e.emit(obs.Event{Kind: obs.KindSearchStart, Mode: "cancelled", Start: opts.Start.String()})
 		return finish(delta.Trivial(inst))
 	}
-	root := newRoot(ctx, inst, e.cm, opts.Workers)
+	root := newRoot(ctx, inst, e.cm, opts.Workers, opts.Spill, e.groupSpill)
 	q := newQueue(opts.QueueWidth)
 	starts := e.warmStates(root)
 	mode := "cold"
@@ -367,7 +427,9 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 			bctx = context.WithoutCancel(ctx)
 		}
 		var err error
-		expl, err = delta.BuildCtx(bctx, inst, tuple, delta.BuildOptions{Workers: opts.Workers})
+		expl, err = delta.BuildCtx(bctx, inst, tuple, delta.BuildOptions{
+			Workers: opts.Workers, Spill: opts.Spill, SpillStats: e.matchSpill,
+		})
 		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// The deadline fired inside the conversion itself. The run has
 			// already found its end state — the same tuple a slightly
@@ -377,7 +439,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (*Result, erro
 			// explanation.
 			e.stats.Cancelled = true
 			expl, err = delta.BuildCtx(context.WithoutCancel(ctx), inst, tuple,
-				delta.BuildOptions{Workers: opts.Workers})
+				delta.BuildOptions{Workers: opts.Workers, Spill: opts.Spill, SpillStats: e.matchSpill})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("search: converting end state: %w", err)

@@ -13,6 +13,7 @@ import (
 	"affidavit/internal/blocking"
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
 )
 
 // State is a search state H ∈ H_I: a partial assignment of functions to
@@ -31,12 +32,13 @@ type State struct {
 // additionally lets every blocking refinement in the search tree partition
 // huge blocks across that many goroutines (see blocking.Result.WithWorkers).
 // Every refinement in the tree observes ctx, so a cancelled run never
-// starts another block split.
-func newRoot(ctx context.Context, inst *delta.Instance, cm delta.CostModel, workers int) *State {
+// starts another block split; under an active spill manager every
+// refinement groups externally when its tables would exceed the budget.
+func newRoot(ctx context.Context, inst *delta.Instance, cm delta.CostModel, workers int, sm *spill.Manager, st *spill.Stats) *State {
 	s := &State{
 		inst:   inst,
 		funcs:  make([]metafunc.Func, inst.NumAttrs()),
-		blocks: blocking.New(inst).WithWorkers(workers).WithContext(ctx),
+		blocks: blocking.New(inst).WithWorkers(workers).WithContext(ctx).WithSpill(sm, st),
 	}
 	s.cost = stateCost(s, cm)
 	s.key = stateKey(s.funcs)

@@ -1,0 +1,175 @@
+package spill
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ReadError wraps a failed spill-file read. Column reads cannot return
+// errors through the table accessor signatures, so Ints panics with a
+// *ReadError; search.Run recovers it at the run boundary and returns it
+// as an ordinary error (every other spilled read happens on the public
+// API caller's goroutine, where net/http's per-request recovery or the
+// caller's own handling applies). Write-side spill errors never reach
+// this path — they degrade to keeping data resident instead.
+type ReadError struct {
+	Err error
+}
+
+func (e *ReadError) Error() string { return fmt.Sprintf("spill: reading column chunk: %v", e.Err) }
+
+func (e *ReadError) Unwrap() error { return e.Err }
+
+// chunkLen is the codes per column chunk: 4 KiB per chunk keeps page-in
+// granularity fine enough that a tiny test budget spills after a thousand
+// records, while a 500k-row column still fits in a few hundred chunks.
+const chunkLen = 1 << 10
+
+// chunkBytes is one chunk's encoded size.
+const chunkBytes = chunkLen * 4
+
+// Ints is an append-only int32 column whose cold chunks spill to the
+// manager's shared temp file once the table share of the budget is full:
+// the warm tail (and up to budget/2 of completed chunks, first-come) stays
+// resident, the rest is paged back on demand. Appends are single-writer
+// (the builder goroutine); reads are safe for concurrent use — random
+// access serialises on a one-chunk page cache, sequential materialisation
+// reads the file directly into the destination.
+type Ints struct {
+	m  *Manager
+	st *Stats
+
+	n      int
+	chunks []intsChunk
+	tail   []int32
+
+	// resident is the cold-chunk byte total this column holds against the
+	// manager's table share; returned when the column is collected.
+	resident int64
+
+	// mu guards the single-chunk page cache used by random access.
+	mu       sync.Mutex
+	cacheIdx int
+	cache    []int32
+
+	frozen bool
+}
+
+// intsChunk is one completed chunk: resident (data != nil) or spilled at
+// off in the manager's chunk file.
+type intsChunk struct {
+	data []int32
+	off  int64
+}
+
+// NewInts returns an empty spillable column accounting into st (which may
+// be nil). The manager must be active; callers without a budget should use
+// plain []int32 slices instead.
+func (m *Manager) NewInts(st *Stats) *Ints {
+	c := &Ints{m: m, st: st, cacheIdx: -1}
+	// Return the table-share reservation when the column is collected, so
+	// a long-lived manager (server Explainer) doesn't leak budget as
+	// tables come and go. The spill file itself is shared and append-only;
+	// its space returns at process exit (the file is unlinked).
+	runtime.SetFinalizer(c, func(c *Ints) { c.m.releaseChunks(c.resident) })
+	return c
+}
+
+// Len returns the number of appended codes.
+func (c *Ints) Len() int { return c.n }
+
+// Append adds one code. It must not be called concurrently or after
+// Freeze.
+func (c *Ints) Append(v int32) {
+	if c.frozen {
+		panic("spill: append to frozen column")
+	}
+	if c.tail == nil {
+		c.tail = make([]int32, 0, chunkLen)
+	}
+	c.tail = append(c.tail, v)
+	c.n++
+	if len(c.tail) == chunkLen {
+		c.finishChunk()
+	}
+}
+
+// finishChunk completes the tail: kept resident while the manager's table
+// share has room, spilled to the shared chunk file otherwise.
+func (c *Ints) finishChunk() {
+	if c.m.reserveChunk(chunkBytes) {
+		c.chunks = append(c.chunks, intsChunk{data: c.tail})
+		c.resident += chunkBytes
+		c.tail = make([]int32, 0, chunkLen)
+		return
+	}
+	buf := make([]byte, chunkBytes)
+	putInt32s(buf, c.tail)
+	off, err := c.m.writeChunk(buf)
+	if err != nil {
+		// Disk trouble: keep the chunk resident — correctness first, the
+		// budget is advisory.
+		c.chunks = append(c.chunks, intsChunk{data: c.tail})
+		c.resident += chunkBytes
+		c.tail = make([]int32, 0, chunkLen)
+		return
+	}
+	c.st.Note(chunkBytes, 0)
+	c.chunks = append(c.chunks, intsChunk{data: nil, off: off})
+	c.tail = c.tail[:0]
+}
+
+// Freeze marks the column complete; Append panics afterwards. Reading does
+// not require freezing — it exists to catch misuse of shared columns.
+func (c *Ints) Freeze() { c.frozen = true }
+
+// At returns code i. Spilled chunks page through a one-chunk cache, so a
+// sequential scan pays one read per chunk.
+func (c *Ints) At(i int) int32 {
+	ci := i / chunkLen
+	if ci == len(c.chunks) {
+		return c.tail[i%chunkLen]
+	}
+	ch := &c.chunks[ci]
+	if ch.data != nil {
+		return ch.data[i%chunkLen]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cacheIdx != ci {
+		if c.cache == nil {
+			c.cache = make([]int32, chunkLen)
+		}
+		buf := make([]byte, chunkBytes)
+		if err := c.m.readChunk(buf, ch.off); err != nil {
+			panic(&ReadError{Err: err})
+		}
+		getInt32s(c.cache, buf)
+		c.cacheIdx = ci
+	}
+	return c.cache[i%chunkLen]
+}
+
+// AppendTo materialises the whole column onto dst in append order —
+// resident chunks copy, spilled chunks stream from disk directly into the
+// destination without touching the page cache.
+func (c *Ints) AppendTo(dst []int32) []int32 {
+	var buf []byte
+	for _, ch := range c.chunks {
+		if ch.data != nil {
+			dst = append(dst, ch.data...)
+			continue
+		}
+		if buf == nil {
+			buf = make([]byte, chunkBytes)
+		}
+		if err := c.m.readChunk(buf, ch.off); err != nil {
+			panic(&ReadError{Err: err})
+		}
+		off := len(dst)
+		dst = append(dst, make([]int32, chunkLen)...)
+		getInt32s(dst[off:], buf)
+	}
+	return append(dst, c.tail...)
+}

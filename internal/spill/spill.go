@@ -1,0 +1,293 @@
+// Package spill is the out-of-core substrate of the explain pipeline: a
+// process-wide memory budget (Manager), per-run spill accounting (Stats),
+// a chunked int32 column that pages cold chunks to a temp file (Ints), and
+// a fixed-record partition pager (Pager) backing the grace-hash external
+// grouping and matching modes of blocking and delta.
+//
+// The budget is a soft, advisory bound on the *auxiliary* memory of one
+// explanation — column chunks, grouping hash tables, matching key maps —
+// not a hard process limit. Consumers estimate the in-memory cost of an
+// operation up front and switch to their external (disk-partitioned)
+// algorithm when the estimate exceeds their share of the budget; results
+// are byte-identical either way, only the memory/IO profile differs.
+//
+// Spill files are created under the manager's directory (os.TempDir by
+// default) and unlinked immediately after creation, so they never outlive
+// the process even on a crash.
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Shares split the budget across the pipeline's three memory consumers.
+// They are deliberately coarse: the point is that no single subsystem can
+// claim the whole budget, not a precise accounting.
+const (
+	// tableShareDiv: resident cold column chunks may hold budget/2 bytes
+	// across all live tables before new chunks spill.
+	tableShareDiv = 2
+	// groupShareDiv: one blocking refinement's group table may be estimated
+	// at budget/4 bytes before the refinement groups externally.
+	groupShareDiv = 4
+	// matchShareDiv: the end-state conversion's key maps may be estimated
+	// at budget/4 bytes before the matching partitions to disk.
+	matchShareDiv = 4
+)
+
+// maxPartitions caps how finely one external operation partitions; beyond
+// this, per-partition buffers dominate and seek locality degrades.
+const maxPartitions = 64
+
+// Manager carries one memory budget plus the shared spill file cold column
+// chunks are written to. The zero budget (or a nil manager) disables
+// spilling entirely: every Should* probe answers false and no file is ever
+// created. Managers are safe for concurrent use and typically live as long
+// as their Explainer.
+type Manager struct {
+	budget int64
+	dir    string
+
+	// chunkResident tracks resident cold-chunk bytes across every Ints of
+	// this manager; chunks completed past the table share spill.
+	chunkResident atomic.Int64
+
+	// mu guards lazy creation of and appends to the shared chunk file.
+	mu       sync.Mutex
+	chunks   *os.File
+	chunkOff int64
+}
+
+// NewManager returns a manager enforcing the given budget in bytes under
+// dir ("" = os.TempDir()). budget ≤ 0 returns a manager that never spills.
+func NewManager(budget int64, dir string) *Manager {
+	return &Manager{budget: budget, dir: dir}
+}
+
+// Active reports whether the manager enforces a budget.
+func (m *Manager) Active() bool { return m != nil && m.budget > 0 }
+
+// Budget returns the configured budget in bytes (0 = unlimited).
+func (m *Manager) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// ShouldSpillGroup reports whether a grouping pass whose in-memory tables
+// are estimated at est bytes should group externally.
+func (m *Manager) ShouldSpillGroup(est int64) bool {
+	return m.Active() && est > m.budget/groupShareDiv
+}
+
+// ShouldSpillMatch reports whether a multiset matching whose key maps are
+// estimated at est bytes should partition to disk.
+func (m *Manager) ShouldSpillMatch(est int64) bool {
+	return m.Active() && est > m.budget/matchShareDiv
+}
+
+// Partitions sizes an external operation: enough partitions that one
+// partition's in-memory table fits the share, clamped to [2, 64].
+func (m *Manager) Partitions(est int64, shareDiv int64) int {
+	share := m.budget / shareDiv
+	if share < 1 {
+		share = 1
+	}
+	p := int((est + share - 1) / share)
+	if p < 2 {
+		p = 2
+	}
+	if p > maxPartitions {
+		p = maxPartitions
+	}
+	return p
+}
+
+// GroupPartitions sizes an external grouping pass.
+func (m *Manager) GroupPartitions(est int64) int { return m.Partitions(est, groupShareDiv) }
+
+// MatchPartitions sizes an external matching pass.
+func (m *Manager) MatchPartitions(est int64) int { return m.Partitions(est, matchShareDiv) }
+
+// tempFile creates an anonymous spill file: created under the manager's
+// directory and unlinked immediately, so it is reclaimed by the OS when
+// closed (or at process exit) no matter how the process ends.
+func (m *Manager) tempFile(pattern string) (*os.File, error) {
+	dir := m.dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	// Unlink while open: POSIX keeps the inode alive for the open
+	// descriptor and reclaims it automatically on close/exit.
+	os.Remove(f.Name())
+	return f, nil
+}
+
+// reserveChunk accounts one completed resident chunk. It reports false —
+// the chunk should spill — when keeping it resident would push the
+// manager's cold-chunk total past the table share.
+func (m *Manager) reserveChunk(bytes int64) bool {
+	if !m.Active() {
+		return true
+	}
+	share := m.budget / tableShareDiv
+	for {
+		cur := m.chunkResident.Load()
+		if cur+bytes > share {
+			return false
+		}
+		if m.chunkResident.CompareAndSwap(cur, cur+bytes) {
+			return true
+		}
+	}
+}
+
+// releaseChunks returns resident bytes to the table share (used by the
+// Ints finalizer when a spilled table is collected).
+func (m *Manager) releaseChunks(bytes int64) {
+	if m.Active() && bytes > 0 {
+		m.chunkResident.Add(-bytes)
+	}
+}
+
+// writeChunk appends raw bytes to the shared chunk file and returns their
+// offset. Appends from concurrent builders serialise on the manager lock;
+// reads go through ReadAt and need no lock.
+func (m *Manager) writeChunk(b []byte) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.chunks == nil {
+		f, err := m.tempFile("affidavit-chunks-*")
+		if err != nil {
+			return 0, err
+		}
+		m.chunks = f
+	}
+	off := m.chunkOff
+	if _, err := m.chunks.WriteAt(b, off); err != nil {
+		return 0, err
+	}
+	m.chunkOff += int64(len(b))
+	return off, nil
+}
+
+// readChunk reads a chunk back from the shared file.
+func (m *Manager) readChunk(b []byte, off int64) error {
+	m.mu.Lock()
+	f := m.chunks
+	m.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("spill: no chunk file")
+	}
+	_, err := f.ReadAt(b, off)
+	return err
+}
+
+// Stats counts one scope's spill activity — a run, a snapshot ingest —
+// with atomic counters, so concurrent refinements and builders report into
+// one place. The nil *Stats discards.
+type Stats struct {
+	bytes atomic.Int64
+	parts atomic.Int64
+}
+
+// Note records written bytes and external partitions.
+func (s *Stats) Note(bytes int64, partitions int) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(bytes)
+	s.parts.Add(int64(partitions))
+}
+
+// Bytes returns the total bytes spilled in this scope.
+func (s *Stats) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytes.Load()
+}
+
+// Partitions returns the external partitions created in this scope.
+func (s *Stats) Partitions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.parts.Load()
+}
+
+// ParseSize parses a human-readable byte size: a plain integer (bytes) or
+// an integer with one of the suffixes KB/MB/GB (decimal) or KiB/MiB/GiB
+// (binary), case-insensitive, e.g. "256MiB", "1gb", "65536". The empty
+// string and "0" parse to 0 (no budget).
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	lower := strings.ToLower(t)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spill: bad size %q (want e.g. 256MiB, 64KB, 1073741824)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("spill: size must be ≥ 0, got %q", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("spill: size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// FormatSize renders a byte count in the binary unit ParseSize accepts.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return strconv.FormatInt(n, 10)
+}
+
+// putInt32s encodes codes little-endian into b (len(b) ≥ 4·len(codes)).
+func putInt32s(b []byte, codes []int32) {
+	for i, c := range codes {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(c))
+	}
+}
+
+// getInt32s decodes len(dst) codes from b.
+func getInt32s(dst []int32, b []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}

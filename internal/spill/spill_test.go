@@ -1,0 +1,205 @@
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"64KiB", 64 << 10, false},
+		{"256MiB", 256 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"1kb", 1000, false},
+		{"2MB", 2_000_000, false},
+		{"3gb", 3_000_000_000, false},
+		{" 16 MiB ", 16 << 20, false},
+		{"12B", 12, false},
+		{"-1", 0, true},
+		{"cat", 0, true},
+		{"12TiB", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseSize(%q): err = %v, want err %v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSizeRoundTrips(t *testing.T) {
+	for _, n := range []int64{0, 17, 1 << 10, 64 << 10, 256 << 20, 1 << 30, 4097} {
+		got, err := ParseSize(FormatSize(n))
+		if err != nil || got != n {
+			t.Errorf("ParseSize(FormatSize(%d)) = %d, %v", n, got, err)
+		}
+	}
+}
+
+// TestIntsSpillsAndReadsBack drives a column past the table share so cold
+// chunks hit disk, then checks every access path returns the appended
+// sequence.
+func TestIntsSpillsAndReadsBack(t *testing.T) {
+	m := NewManager(4*chunkBytes, t.TempDir()) // share = 2 chunks resident
+	st := &Stats{}
+	c := m.NewInts(st)
+	const n = 7*chunkLen + 123
+	for i := 0; i < n; i++ {
+		c.Append(int32(i * 3))
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	if st.Bytes() == 0 {
+		t.Fatal("no chunks spilled despite a 2-chunk share")
+	}
+	got := c.AppendTo(nil)
+	if len(got) != n {
+		t.Fatalf("AppendTo len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != int32(i*3) {
+			t.Fatalf("AppendTo[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	// Random access across chunk boundaries, including the tail.
+	for _, i := range []int{0, 1, chunkLen - 1, chunkLen, 3*chunkLen + 7, n - 1} {
+		if v := c.At(i); v != int32(i*3) {
+			t.Fatalf("At(%d) = %d, want %d", i, v, i*3)
+		}
+	}
+}
+
+// TestIntsConcurrentReads exercises the page cache under -race.
+func TestIntsConcurrentReads(t *testing.T) {
+	m := NewManager(chunkBytes, t.TempDir())
+	c := m.NewInts(nil)
+	const n = 5 * chunkLen
+	for i := 0; i < n; i++ {
+		c.Append(int32(i))
+	}
+	c.Freeze()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 4 {
+				if v := c.At(i); v != int32(i) {
+					t.Errorf("At(%d) = %d", i, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPagerRoundTrips(t *testing.T) {
+	m := NewManager(1, t.TempDir())
+	st := &Stats{}
+	const parts, recs = 5, 50000
+	p, err := m.NewPager(parts, 8, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rec := make([]byte, 8)
+	for i := 0; i < recs; i++ {
+		binary.LittleEndian.PutUint32(rec, uint32(i))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(i*7))
+		if err := p.Write(i%parts, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Partitions() != parts {
+		t.Fatalf("partitions = %d, want %d", st.Partitions(), parts)
+	}
+	if st.Bytes() != int64(recs*8) {
+		t.Fatalf("bytes = %d, want %d", st.Bytes(), recs*8)
+	}
+	total := 0
+	for part := 0; part < parts; part++ {
+		want := part
+		if err := p.ReadPart(part, func(rec []byte) error {
+			i := int(binary.LittleEndian.Uint32(rec))
+			j := int(binary.LittleEndian.Uint32(rec[4:]))
+			if i != want || j != i*7 {
+				return fmt.Errorf("partition %d: got (%d, %d), want (%d, %d)", part, i, j, want, want*7)
+			}
+			want += parts
+			total++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != recs {
+		t.Fatalf("replayed %d records, want %d", total, recs)
+	}
+}
+
+// TestIntsReadErrorPanicsTyped: a failed chunk read panics with a
+// *ReadError — the typed value search.Run's containment boundary keys on
+// — never with a bare string.
+func TestIntsReadErrorPanicsTyped(t *testing.T) {
+	m := NewManager(1, t.TempDir()) // 1-byte budget: every chunk spills
+	c := m.NewInts(nil)
+	for i := 0; i < 2*chunkLen; i++ {
+		c.Append(int32(i))
+	}
+	// Sabotage the backing file; the next cold read must fail.
+	m.mu.Lock()
+	m.chunks.Close()
+	m.mu.Unlock()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("read from a closed spill file did not panic")
+		}
+		re, ok := p.(*ReadError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *ReadError", p)
+		}
+		if re.Unwrap() == nil {
+			t.Fatal("ReadError carries no cause")
+		}
+	}()
+	c.At(0)
+}
+
+func TestManagerSizing(t *testing.T) {
+	m := NewManager(1<<20, "")
+	if !m.ShouldSpillGroup(1 << 19) {
+		t.Error("group estimate above budget/4 should spill")
+	}
+	if m.ShouldSpillGroup(1 << 10) {
+		t.Error("tiny group estimate should not spill")
+	}
+	if p := m.GroupPartitions(1 << 22); p < 2 || p > maxPartitions {
+		t.Errorf("partitions out of range: %d", p)
+	}
+	var nilM *Manager
+	if nilM.Active() || nilM.ShouldSpillGroup(1<<40) || nilM.ShouldSpillMatch(1<<40) {
+		t.Error("nil manager must never spill")
+	}
+	if NewManager(0, "").Active() {
+		t.Error("zero budget must be inactive")
+	}
+}

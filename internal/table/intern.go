@@ -88,6 +88,9 @@ func (d *Dict) Snapshot() []string {
 // answer, so streamed-in snapshots are never re-interned.
 func (t *Table) CodeColumn(a int, d *Dict) []int32 {
 	if t.columnar() && t.dicts[a] == d {
+		if t.spilled() {
+			return t.scols[a].AppendTo(make([]int32, 0, t.clen))
+		}
 		return append([]int32(nil), t.cols[a]...)
 	}
 	n := t.Len()

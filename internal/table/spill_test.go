@@ -1,0 +1,120 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"affidavit/internal/spill"
+)
+
+// buildPair builds the same synthetic snapshot twice: once plain columnar,
+// once under a tiny budget that forces chunk spilling.
+func buildSpillPair(t *testing.T, rows int) (plain, spilled *Table, st *spill.Stats) {
+	t.Helper()
+	s := MustSchema("id", "city", "qty")
+	rec := func(i int) Record {
+		return Record{fmt.Sprintf("%d", i), fmt.Sprintf("city-%d", i%37), fmt.Sprintf("%d", i%11)}
+	}
+	pb, err := NewBuilder(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spill.NewManager(1<<12, t.TempDir()) // 4 KiB: one chunk busts the share
+	st = &spill.Stats{}
+	sb, err := NewBuilder(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb = sb.WithSpill(m, st)
+	for i := 0; i < rows; i++ {
+		if err := pb.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pb.Table(), sb.Table(), st
+}
+
+// TestSpilledTableMatchesPlain drives every accessor of a spilled table
+// against its in-memory twin.
+func TestSpilledTableMatchesPlain(t *testing.T) {
+	const rows = 5000 // several chunks per column
+	plain, spilled, st := buildSpillPair(t, rows)
+	if !spilled.Spilled() || plain.Spilled() {
+		t.Fatalf("Spilled() = %v/%v, want true/false", spilled.Spilled(), plain.Spilled())
+	}
+	if st.Bytes() == 0 {
+		t.Fatal("tiny budget spilled nothing")
+	}
+	if spilled.Len() != rows {
+		t.Fatalf("Len = %d", spilled.Len())
+	}
+	for i := 0; i < rows; i += 97 {
+		if !plain.Record(i).Equal(spilled.Record(i)) {
+			t.Fatalf("record %d: %v vs %v", i, plain.Record(i), spilled.Record(i))
+		}
+	}
+	for a := 0; a < 3; a++ {
+		d := NewDict()
+		pc := plain.CodeColumn(a, d)
+		sc := spilled.CodeColumn(a, spilled.dicts[a])
+		// Different dictionaries, so compare decoded values.
+		for i := 0; i < rows; i += 211 {
+			pv := d.Value(pc[i])
+			sv := spilled.dicts[a].Value(sc[i])
+			if pv != sv {
+				t.Fatalf("attr %d record %d: %q vs %q", a, i, pv, sv)
+			}
+		}
+		ps, ss := plain.Stats(a), spilled.Stats(a)
+		if ps != ss {
+			t.Fatalf("stats attr %d: %+v vs %+v", a, ps, ss)
+		}
+	}
+	// Clone materialises; Select projects.
+	cl := spilled.Clone()
+	if cl.Spilled() {
+		t.Fatal("clone of a spilled table should be in-memory")
+	}
+	idx := []int{0, 4999, 17, 1024, 1023}
+	psel, ssel := plain.Select(idx), spilled.Select(idx)
+	for i := range idx {
+		if !psel.Record(i).Equal(ssel.Record(i)) {
+			t.Fatalf("select %d: %v vs %v", i, psel.Record(i), ssel.Record(i))
+		}
+		if !cl.Record(idx[i]).Equal(plain.Record(idx[i])) {
+			t.Fatalf("clone %d differs", idx[i])
+		}
+	}
+	// DropAttrs shares columns and freezes them.
+	dp := spilled.DropAttrs(map[int]bool{1: true})
+	if dp.Schema().Len() != 2 || dp.Len() != rows {
+		t.Fatalf("DropAttrs shape: %d attrs, %d rows", dp.Schema().Len(), dp.Len())
+	}
+	if got, want := dp.Value(2500, 1), plain.Value(2500, 2); got != want {
+		t.Fatalf("DropAttrs value: %q vs %q", got, want)
+	}
+}
+
+// TestSpilledTableConcurrentReads exercises the paging path under -race.
+func TestSpilledTableConcurrentReads(t *testing.T) {
+	_, spilled, _ := buildSpillPair(t, 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < 4096; i += 4 {
+				want := fmt.Sprintf("%d", i)
+				if v := spilled.Value(i, 0); v != want {
+					t.Errorf("Value(%d, 0) = %q, want %q", i, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,10 @@
 package table
 
-import "fmt"
+import (
+	"fmt"
+
+	"affidavit/internal/spill"
+)
 
 // Builder assembles a columnar table incrementally: every appended record
 // is interned into the per-attribute dictionaries the moment it arrives and
@@ -40,6 +44,27 @@ func NewBuilder(s *Schema, dicts []*Dict) (*Builder, error) {
 		t.views[a] = d.Snapshot()
 	}
 	return &Builder{t: t}, nil
+}
+
+// WithSpill rebacks the builder's code columns with spillable chunked
+// columns governed by m: once the manager's table share is full, completed
+// chunks page out to its temp file and back on demand, bounding the
+// resident cost of arbitrarily long snapshots. st (which may be nil)
+// accumulates the spilled volume. Must be called before the first Append;
+// an inactive manager leaves the builder unchanged.
+func (b *Builder) WithSpill(m *spill.Manager, st *spill.Stats) *Builder {
+	if !m.Active() {
+		return b
+	}
+	if b.done || b.t.Len() > 0 {
+		panic("table: WithSpill after Append")
+	}
+	b.t.cols = nil
+	b.t.scols = make([]*spill.Ints, b.t.schema.Len())
+	for a := range b.t.scols {
+		b.t.scols[a] = m.NewInts(st)
+	}
+	return b
 }
 
 // Append interns one record. The record is consumed by value — the builder

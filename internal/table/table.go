@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"affidavit/internal/spill"
 	"affidavit/internal/value"
 )
 
@@ -153,6 +154,12 @@ func (r Record) Project(cols []int) Record {
 //
 // Both backings serve the same accessors and produce identical explanations;
 // only the memory layout and the interning work differ.
+//
+// A columnar table built under a memory budget (Builder.WithSpill) stores
+// its code columns as spillable chunked columns instead of plain slices:
+// cold chunks page out to the budget manager's temp file and back on
+// demand, so a snapshot's resident cost drops to the dictionary plus the
+// budget's table share. Accessors and explanations are unchanged.
 type Table struct {
 	schema  *Schema
 	records []Record // row backing; nil when columnar
@@ -161,7 +168,9 @@ type Table struct {
 	// attribute a in dicts[a]; views[a] is a lock-free snapshot of dicts[a]'s
 	// value table covering every code stored in cols[a]; clen is the record
 	// count (kept separately so zero-attribute tables still know their size).
+	// Under a memory budget scols[a] replaces cols[a].
 	cols  [][]int32
+	scols []*spill.Ints
 	dicts []*Dict
 	views [][]string
 	clen  int
@@ -169,6 +178,21 @@ type Table struct {
 
 // columnar reports whether the table uses the interned columnar backing.
 func (t *Table) columnar() bool { return t.dicts != nil }
+
+// spilled reports whether the columnar backing is spillable.
+func (t *Table) spilled() bool { return t.scols != nil }
+
+// Spilled reports whether the table's code columns live behind a spillable
+// chunked store (Builder.WithSpill) rather than plain in-memory slices.
+func (t *Table) Spilled() bool { return t.spilled() }
+
+// code returns the stored code of record i, attribute a (columnar only).
+func (t *Table) code(i, a int) int32 {
+	if t.spilled() {
+		return t.scols[a].At(i)
+	}
+	return t.cols[a][i]
+}
 
 // New creates an empty table under the given schema.
 func New(s *Schema) *Table {
@@ -212,9 +236,9 @@ func (t *Table) Len() int {
 // fresh tuple per call (same values, safe to hold).
 func (t *Table) Record(i int) Record {
 	if t.columnar() {
-		r := make(Record, len(t.cols))
-		for a, col := range t.cols {
-			r[a] = t.views[a][col[i]]
+		r := make(Record, len(t.views))
+		for a := range t.views {
+			r[a] = t.views[a][t.code(i, a)]
 		}
 		return r
 	}
@@ -224,7 +248,7 @@ func (t *Table) Record(i int) Record {
 // Value returns the value of attribute a in record i.
 func (t *Table) Value(i, a int) string {
 	if t.columnar() {
-		return t.views[a][t.cols[a][i]]
+		return t.views[a][t.code(i, a)]
 	}
 	return t.records[i][a]
 }
@@ -250,19 +274,29 @@ func (t *Table) appendCoded(r Record) {
 		if int(c) >= len(t.views[a]) {
 			t.views[a] = t.dicts[a].Snapshot()
 		}
-		t.cols[a] = append(t.cols[a], c)
+		if t.spilled() {
+			t.scols[a].Append(c)
+		} else {
+			t.cols[a] = append(t.cols[a], c)
+		}
 	}
 	t.clen++
 }
 
 // Clone returns a deep copy of the table. Columnar clones copy the code
-// columns and share the (append-only) dictionaries.
+// columns and share the (append-only) dictionaries; a spilled table's
+// clone materialises the columns in memory — cloning is a small-table
+// operation, spilling an ingest-time one.
 func (t *Table) Clone() *Table {
 	if t.columnar() {
 		c := New(t.schema)
-		c.cols = make([][]int32, len(t.cols))
-		for a, col := range t.cols {
-			c.cols[a] = append([]int32(nil), col...)
+		c.cols = make([][]int32, t.schema.Len())
+		for a := range c.cols {
+			if t.spilled() {
+				c.cols[a] = t.scols[a].AppendTo(make([]int32, 0, t.clen))
+			} else {
+				c.cols[a] = append([]int32(nil), t.cols[a]...)
+			}
 		}
 		c.dicts = append([]*Dict(nil), t.dicts...)
 		c.views = append([][]string(nil), t.views...)
@@ -282,11 +316,11 @@ func (t *Table) Clone() *Table {
 func (t *Table) Select(idx []int) *Table {
 	if t.columnar() {
 		c := New(t.schema)
-		c.cols = make([][]int32, len(t.cols))
-		for a, col := range t.cols {
+		c.cols = make([][]int32, t.schema.Len())
+		for a := range c.cols {
 			sel := make([]int32, len(idx))
 			for i, j := range idx {
-				sel[i] = col[j]
+				sel[i] = t.code(j, a)
 			}
 			c.cols[a] = sel
 		}
@@ -314,10 +348,38 @@ func (t *Table) Column(a int) []string {
 }
 
 // DropAttrs returns a new table without the attributes at the given
-// positions.
+// positions. A columnar table stays columnar: the surviving code columns
+// are shared read-only views (capacity-clamped, so appending to the
+// projection can never write into the original), which keeps the
+// projection O(d) instead of re-materialising every record — the
+// difference between a cheap filter and hundreds of megabytes on the
+// Figure 5 input. Spilled columns are shared too and frozen against
+// further appends.
 func (t *Table) DropAttrs(drop map[int]bool) *Table {
 	ns, old := t.schema.WithoutAttrs(drop)
 	c := New(ns)
+	if t.columnar() {
+		c.dicts = make([]*Dict, len(old))
+		c.views = make([][]string, len(old))
+		c.clen = t.clen
+		if t.spilled() {
+			c.scols = make([]*spill.Ints, len(old))
+		} else {
+			c.cols = make([][]int32, len(old))
+		}
+		for i, a := range old {
+			c.dicts[i] = t.dicts[a]
+			c.views[i] = t.views[a]
+			if t.spilled() {
+				t.scols[a].Freeze()
+				c.scols[i] = t.scols[a]
+			} else {
+				col := t.cols[a]
+				c.cols[i] = col[:len(col):len(col)]
+			}
+		}
+		return c
+	}
 	n := t.Len()
 	c.records = make([]Record, n)
 	for i := 0; i < n; i++ {
