@@ -270,7 +270,15 @@ type SchemaMatch = schemamatch.Match
 // reordered (the paper's future-work problem variant): attributes are first
 // matched by value-distribution similarity, the target is rewritten into
 // the source schema, and the ordinary search runs on the aligned pair.
+// ExplainRenamed is ExplainRenamedContext under context.Background().
 func ExplainRenamed(source, target *Table, opts Options) (*Result, *SchemaMatch, error) {
+	return ExplainRenamedContext(context.Background(), source, target, opts)
+}
+
+// ExplainRenamedContext is ExplainRenamed under ctx (see ExplainContext):
+// the schema match runs to completion, then the aligned search honours
+// cancellation and deadlines.
+func ExplainRenamedContext(ctx context.Context, source, target *Table, opts Options) (*Result, *SchemaMatch, error) {
 	m, err := schemamatch.Attributes(source, target)
 	if err != nil {
 		return nil, nil, err
@@ -279,7 +287,7 @@ func ExplainRenamed(source, target *Table, opts Options) (*Result, *SchemaMatch,
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := Explain(source, aligned, opts)
+	res, err := ExplainContext(ctx, source, aligned, opts)
 	if err != nil {
 		return nil, nil, err
 	}

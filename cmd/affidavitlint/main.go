@@ -1,0 +1,147 @@
+// Command affidavitlint is the repo's determinism/context/observer lint
+// suite (internal/lint) packaged as a vet tool. It speaks the go vet
+// -vettool unit-checker protocol, so CI and local runs invoke it as
+//
+//	go build -o "$(go env GOPATH)/bin/affidavitlint" ./cmd/affidavitlint
+//	go vet -vettool="$(go env GOPATH)/bin/affidavitlint" ./...
+//
+// Run without a .cfg argument it drives itself through go vet, so
+//
+//	go run ./cmd/affidavitlint ./...
+//
+// analyzes the repo in one step. -list describes the analyzers.
+//
+// The protocol implementation mirrors x/tools' unitchecker on the
+// standard library alone (this repo vendors no dependencies): go vet
+// hands the tool one JSON config per package — file lists, the import
+// map, and export-data locations for every dependency — and the tool
+// parses, type-checks against the compiler's export data, runs the suite,
+// and prints findings. Dependency-only invocations (VetxOnly) write their
+// empty facts file and return immediately, so the fleet of stdlib
+// packages costs nothing.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"affidavit/internal/lint"
+)
+
+func main() {
+	log := func(err error) {
+		fmt.Fprintf(os.Stderr, "affidavitlint: %v\n", err)
+		os.Exit(1)
+	}
+
+	fs := flag.NewFlagSet("affidavitlint", flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	listAnalyzers := fs.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printVersion != "":
+		// go vet fingerprints the tool for its action cache: the output
+		// must be "<name> version devel ... buildID=<content hash>".
+		if *printVersion != "full" {
+			log(fmt.Errorf("unsupported flag value: -V=%s", *printVersion))
+		}
+		if err := printVersionLine(); err != nil {
+			log(err)
+		}
+		return
+	case *printFlags:
+		// go vet asks which flags the tool supports before forwarding any.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		out, err := json.Marshal([]jsonFlag{
+			{"V", false, "print version and exit"},
+			{"json", true, "emit diagnostics as JSON"},
+		})
+		if err != nil {
+			log(err)
+		}
+		os.Stdout.Write(out)
+		return
+	case *listAnalyzers:
+		for _, a := range lint.Suite() {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// Unit-checker mode: one package, described by go vet's config.
+		code, err := runUnit(args[0], *jsonOut)
+		if err != nil {
+			log(err)
+		}
+		os.Exit(code)
+	}
+
+	// Standalone mode: re-exec through go vet so package loading, export
+	// data and caching are the go command's problem — exactly the CI path.
+	self, err := os.Executable()
+	if err != nil {
+		log(err)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if ok := errorsAs(err, &exit); ok {
+			os.Exit(exit.ExitCode())
+		}
+		log(err)
+	}
+}
+
+// errorsAs is errors.As for *exec.ExitError without importing errors just
+// for one call site.
+func errorsAs(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// printVersionLine emits the go vet tool-ID line: name, "version devel",
+// and a content hash of the executable so the vet action cache invalidates
+// when the tool changes.
+func printVersionLine() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), h.Sum(nil))
+	return nil
+}

@@ -1,0 +1,127 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles affidavitlint into dir and returns its path.
+func buildTool(t *testing.T, dir string) string {
+	t.Helper()
+	tool := filepath.Join(dir, "affidavitlint")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tool: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule materialises a throwaway module with one determinism-critical
+// package (its directory is named search, so the suite scopes it like the
+// real one).
+func writeModule(t *testing.T, dir, searchSrc string) {
+	t.Helper()
+	files := map[string]string{
+		"go.mod":           "module fixturemod\n\ngo 1.21\n",
+		"search/search.go": searchSrc,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// vet runs `go vet -vettool=tool ./...` inside dir.
+func vet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolEndToEnd drives the full go vet protocol: -V/-flags
+// handshake, per-package .cfg invocations, facts files, exit codes — the
+// exact path CI takes. A map-range violation in a package named search
+// must fail the vet run; the annotated variant must pass it.
+func TestVettoolEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	tool := buildTool(t, t.TempDir())
+
+	const violating = `package search
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+		if len(keys) > 10 {
+			break // the early break defeats the append-then-sort idiom
+		}
+	}
+	return keys
+}
+`
+	dir := t.TempDir()
+	writeModule(t, dir, violating)
+	out, err := vet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("vet passed on a map-order violation:\n%s", out)
+	}
+	if !strings.Contains(out, "unordered iteration") || !strings.Contains(out, "[mapiter]") {
+		t.Errorf("vet output does not carry the mapiter diagnostic:\n%s", out)
+	}
+
+	const annotated = `package search
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	//affidavit:ordered callers sort before use; bound is a sampling cap
+	for k := range m {
+		keys = append(keys, k)
+		if len(keys) > 10 {
+			break
+		}
+	}
+	return keys
+}
+`
+	dir2 := t.TempDir()
+	writeModule(t, dir2, annotated)
+	if out, err := vet(t, tool, dir2); err != nil {
+		t.Errorf("vet failed on an annotated loop: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolProtocolHandshake checks the two discovery invocations go vet
+// performs before trusting a tool: -V=full must print a "<name> version
+// <...> buildID=<hex>" line, -flags must print a JSON flag list.
+func TestVettoolProtocolHandshake(t *testing.T) {
+	tool := buildTool(t, t.TempDir())
+
+	out, err := exec.Command(tool, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full: %v\n%s", err, out)
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) < 3 || fields[1] != "version" || !strings.Contains(string(out), "buildID=") {
+		t.Errorf("-V=full line malformed: %q", out)
+	}
+
+	out, err = exec.Command(tool, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-flags: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(out)), "[") {
+		t.Errorf("-flags did not print a JSON array: %q", out)
+	}
+}

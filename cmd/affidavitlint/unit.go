@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"affidavit/internal/lint"
+)
+
+// vetConfig is the JSON config go vet writes for each package — the same
+// shape x/tools' unitchecker reads. Fields the suite does not consult
+// (facts, non-Go files) are kept for decoding fidelity.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the one package the config describes and returns the
+// process exit code (0 clean, 2 findings).
+func runUnit(cfgFile string, jsonOut bool) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// go vet expects the facts file regardless; the suite carries no
+	// facts, so an empty one satisfies the cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 1, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency run: go vet only wants the (empty) facts. Skipping
+		// the parse here is what keeps stdlib dependencies free.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path: look up its export data.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := lint.NewTypesInfo()
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect what we can; fail on the first error below
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags := lint.Run(&lint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, lint.Suite())
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	if jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			Posn     string `json:"posn"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{d.Analyzer, d.Position.String(), d.Message}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(map[string][]jsonDiag{cfg.ImportPath: out})
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	return 2, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,6 +1,7 @@
 package affidavit_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -127,5 +128,47 @@ func TestExplainRenamed(t *testing.T) {
 	tt, _ := affidavit.NewTable(tiny, []affidavit.Record{{"x"}})
 	if _, _, err := affidavit.ExplainRenamed(src, tt, opts); err == nil {
 		t.Error("arity mismatch accepted")
+	}
+}
+
+// TestExplainRenamedContext: the renamed-schema pipeline honours
+// cancellation like every other entry point (the ctxflow analyzer's
+// contract — cooperative: an interrupted run returns the partial result
+// with Stats.Cancelled set), and the context variant agrees with the
+// plain one.
+func TestExplainRenamedContext(t *testing.T) {
+	s, _ := affidavit.NewSchema("ID1", "ID2", "Date", "Type", "Val", "Unit", "Org")
+	src, err := affidavit.NewTable(s, fixture.SourceRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, _ := affidavit.NewSchema("a", "b", "c", "d", "e", "f", "g")
+	tgt, err := affidavit.NewTable(renamed, fixture.TargetRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := affidavit.DefaultOptions()
+	opts.Seed = 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	interrupted, _, err := affidavit.ExplainRenamedContext(ctx, src, tgt, opts)
+	if err != nil {
+		t.Fatalf("cancelled context: err = %v, want partial result", err)
+	}
+	if !interrupted.Stats.Cancelled {
+		t.Error("cancelled context: Stats.Cancelled not set — ctx did not reach the search")
+	}
+
+	res, _, err := affidavit.ExplainRenamedContext(context.Background(), src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := affidavit.ExplainRenamed(src, tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != ref.Cost || res.Report() != ref.Report() {
+		t.Error("context variant diverges from ExplainRenamed")
 	}
 }

@@ -60,6 +60,7 @@ func GreedyMap(inst *delta.Instance, pairs []Pair, attr int) *metafunc.Mapping {
 	}
 	bestT := make(map[int32]int32)
 	bestN := make(map[int32]int)
+	//affidavit:ordered argmax with a total tie-break (count, then lexicographic target value); result is independent of visit order
 	for k, n := range counts {
 		sv, tv := int32(k>>32), int32(k&0xffffffff)
 		cur, seen := bestN[sv]
@@ -69,6 +70,7 @@ func GreedyMap(inst *delta.Instance, pairs []Pair, attr int) *metafunc.Mapping {
 		}
 	}
 	entries := make(map[string]string, len(bestT))
+	//affidavit:ordered writes map entries keyed by dict.Value(sv), which is injective over codes; no order-dependent state
 	for sv, tv := range bestT {
 		entries[dict.Value(sv)] = dict.Value(tv)
 	}
@@ -123,6 +125,7 @@ func ComputeOverlap(inst *delta.Instance, maxPairs int) *Overlap {
 	ov := &Overlap{}
 	best := make(map[int32]Pair)
 	bestScore := make(map[int32]int32)
+	//affidavit:ordered argmax with a total tie-break (score, then smaller target index); result is independent of visit order
 	for key, sc := range scores {
 		s := int32(key / int64(nT))
 		t := int32(key % int64(nT))
@@ -158,6 +161,7 @@ func (ov *Overlap) StartAttrs(inst *delta.Instance) []int {
 		freq[sc]++
 	}
 	kPrime, bestN := 0, -1
+	//affidavit:ordered argmax with a total tie-break (frequency, then larger score); result is independent of visit order
 	for sc, n := range freq {
 		if n > bestN || (n == bestN && sc > kPrime) {
 			kPrime, bestN = sc, n

@@ -243,13 +243,10 @@ func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config,
 		}
 	}
 	var cands []Candidate
-	for key, n := range genCount {
+	for key, n := range genCount { //affidavit:ordered filtered append is sorted by (Generated, Key) directly below
 		if n >= minGen {
 			cands = append(cands, Candidate{Func: exemplar[key], Generated: n})
 		}
-	}
-	if len(cands) == 0 {
-		return nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].Generated != cands[j].Generated {
@@ -257,6 +254,9 @@ func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config,
 		}
 		return cands[i].Func.Key() < cands[j].Func.Key()
 	})
+	if len(cands) == 0 {
+		return nil
+	}
 	if len(cands) > cfg.MaxRanked {
 		cands = cands[:cfg.MaxRanked]
 	}
@@ -335,6 +335,7 @@ func rankByOverlap(r *blocking.Result, attr int, cands []Candidate, cfg Config, 
 		overlap := 0
 		for bi := range blocks {
 			clear(outHist)
+			//affidavit:ordered commutative accumulation: outHist[out] += n and the applied cache are both pure functions of the histogram multiset
 			for c, n := range srcHists[bi] {
 				out, ok := applied[c]
 				if !ok {
@@ -348,6 +349,7 @@ func rankByOverlap(r *blocking.Result, attr int, cands []Candidate, cfg Config, 
 					outHist[out] += n
 				}
 			}
+			//affidavit:ordered commutative sum: overlap accumulates min(n, m) per value, independent of visit order
 			for v, n := range outHist {
 				if m := tgtHists[bi][v]; m > 0 {
 					if m < n {

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicStats enforces the spill.Stats/server-counter concurrency rule: a
+// counter field is either always accessed through sync/atomic or never —
+// mixing atomic.AddInt64(&s.n, …) with a plain `s.n++` (or a plain read in
+// a snapshot method) is a data race that -race only catches when the
+// schedule cooperates. The analyzer also reports value copies of structs
+// that embed atomic types (copying tears the counters and defeats the
+// sharing the atomics exist for).
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "forbids mixed atomic/plain access to counter fields (any field " +
+		"passed to sync/atomic must always go through sync/atomic) and " +
+		"value copies of structs containing atomic counters",
+	Run: runAtomicStats,
+}
+
+func runAtomicStats(pass *Pass) {
+	// Pass 1: collect every field that is the target of a sync/atomic call,
+	// remembering the exact selector nodes so pass 2 can skip them.
+	atomicFields := make(map[*types.Var]bool)
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			switch {
+			case strings.HasPrefix(fn.Name(), "Add"),
+				strings.HasPrefix(fn.Name(), "Load"),
+				strings.HasPrefix(fn.Name(), "Store"),
+				strings.HasPrefix(fn.Name(), "Swap"),
+				strings.HasPrefix(fn.Name(), "CompareAndSwap"):
+			default:
+				return true
+			}
+			addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(pass.TypesInfo, sel); v != nil {
+				atomicFields[v] = true
+				atomicUses[sel] = true
+			}
+			return true
+		})
+	}
+	// Pass 2: any other access to those fields is a mixed access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			v := fieldOf(pass.TypesInfo, sel)
+			if v != nil && atomicFields[v] {
+				pass.Report(sel.Pos(), "plain access to %s.%s, which is elsewhere accessed through "+
+					"sync/atomic; mixed atomic/plain access is a data race — use the atomic "+
+					"load/store everywhere", fieldOwner(v), v.Name())
+			}
+			return true
+		})
+	}
+	// Pass 3: value copies of atomic-bearing structs.
+	for _, f := range pass.Files {
+		checkAtomicCopies(pass, f, atomicFields)
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, nil otherwise.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// fieldOwner names the struct type a field belongs to, best effort.
+func fieldOwner(v *types.Var) string {
+	if v.Pkg() != nil {
+		return lastSegment(v.Pkg().Path())
+	}
+	return "struct"
+}
+
+// checkAtomicCopies reports expressions that copy a struct containing
+// sync/atomic values (or legacy atomically-accessed fields) by value.
+func checkAtomicCopies(pass *Pass, f *ast.File, legacy map[*types.Var]bool) {
+	flag := func(e ast.Expr) {
+		e = unparen(e)
+		switch e.(type) {
+		case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			// Value-yielding forms that duplicate existing state. Composite
+			// literals, calls and unary & construct or reference instead.
+		default:
+			return
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil || !hasAtomicState(t, legacy) {
+			return
+		}
+		pass.Report(e.Pos(), "copies %s by value; it carries atomic counters, which must be "+
+			"shared by pointer (a copy tears concurrent updates)",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				flag(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				flag(v)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flag(r)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return true // atomic.X(&s.f, …) is the sanctioned access
+			}
+			for _, a := range n.Args {
+				flag(a)
+			}
+		case *ast.KeyValueExpr:
+			flag(n.Value)
+		}
+		return true
+	})
+}
+
+// hasAtomicState reports whether t is a struct type directly containing a
+// sync/atomic value or a field in the legacy atomically-accessed set.
+func hasAtomicState(t types.Type, legacy map[*types.Var]bool) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if legacy[f] {
+			return true
+		}
+		if named, ok := f.Type().(*types.Named); ok {
+			if obj := named.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+		}
+	}
+	return false
+}

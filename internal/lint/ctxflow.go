@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflowScope names the packages whose long-running work must be
+// cancellable — the discipline PR 3 established by hand: the search loop,
+// the conversion, blocking refinements, sessions, the public front-end and
+// the daemon.
+var ctxflowScope = map[string]bool{
+	"search":     true,
+	"session":    true,
+	"delta":      true,
+	"blocking":   true,
+	"affidavit":  true,
+	"affidavitd": true,
+}
+
+// ctxflowEntryScope names the packages whose exported pipeline entry
+// points must accept a context (directly, via a -Ctx/-Context sibling, or
+// via a WithContext configurator on the receiver).
+var ctxflowEntryScope = map[string]bool{
+	"search":    true,
+	"session":   true,
+	"delta":     true,
+	"affidavit": true,
+}
+
+// CtxFlow enforces the context discipline on pipeline packages:
+//
+//  1. a context.Context parameter must actually be used — stored, passed
+//     down, or checked via Err/Done; an ignored ctx silently makes a path
+//     uncancellable;
+//  2. an unconditional `for {}` loop in a function that has a ctx must
+//     reference it (poll/worker loops exit cooperatively);
+//  3. exported entry points (Run, Explain*, Build*) must accept a context,
+//     or pair with a -Ctx/-Context sibling, or their receiver must offer
+//     WithContext.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "requires pipeline entry points and poll/worker loops to accept " +
+		"and check context.Context: unused ctx parameters, ctx-blind " +
+		"infinite loops, and context-less Run/Explain*/Build* entry points " +
+		"are reported",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !inScope(pass.Pkg.Path(), ctxflowScope) {
+		return
+	}
+	entries := inScope(pass.Pkg.Path(), ctxflowEntryScope)
+	// First pass: index package-level functions and methods by receiver so
+	// the entry-point rule can see -Ctx siblings and WithContext.
+	byRecv := make(map[string]map[string]bool) // receiver type name ("" = plain func) → names
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			r := recvTypeName(fd)
+			if byRecv[r] == nil {
+				byRecv[r] = make(map[string]bool)
+			}
+			byRecv[r][fd.Name.Name] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxParams(pass, fd)
+			if entries {
+				checkEntryPoint(pass, fd, byRecv)
+			}
+		}
+	}
+}
+
+// recvTypeName returns the receiver's type name, "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isContextParam reports whether the field's type is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxParams enforces rules 1 and 2 on one function declaration.
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Report(name.Pos(), "context.Context parameter is discarded in %s; name it and "+
+					"pass it down (or check ctx.Err/Done), so this path stays cancellable", fd.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !referencesObject(pass, fd.Body, obj) {
+				pass.Report(name.Pos(), "context.Context parameter %q is never used in %s; pass it "+
+					"down or check ctx.Err/Done, so this path stays cancellable", name.Name, fd.Name.Name)
+				continue
+			}
+			checkInfiniteLoops(pass, fd, obj)
+		}
+	}
+}
+
+// checkInfiniteLoops reports unconditional for-loops that never look at
+// the function's context (rule 2): a poll or worker loop that cannot
+// observe cancellation runs forever after the caller has given up.
+func checkInfiniteLoops(pass *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Literals may run on other goroutines with their own lifecycle
+			// (e.g. a worker given a done channel); rule 2 covers the
+			// function's own loops.
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !referencesObject(pass, loop.Body, ctxObj) {
+			pass.Report(loop.Pos(), "unconditional loop in %s never checks its context %q; "+
+				"poll/worker loops must exit on ctx.Done/ctx.Err", fd.Name.Name, ctxObj.Name())
+		}
+		return true
+	})
+}
+
+// referencesObject reports whether any identifier under n resolves to obj.
+func referencesObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// entryName reports whether an exported function name is a pipeline entry
+// point the context rule covers.
+func entryName(name string) bool {
+	if !ast.IsExported(name) {
+		return false
+	}
+	if strings.HasSuffix(name, "Ctx") || strings.HasSuffix(name, "Context") {
+		return false // already the context variant
+	}
+	return name == "Run" || strings.HasPrefix(name, "Explain") || strings.HasPrefix(name, "Build")
+}
+
+// checkEntryPoint enforces rule 3 on one declaration.
+func checkEntryPoint(pass *Pass, fd *ast.FuncDecl, byRecv map[string]map[string]bool) {
+	if !entryName(fd.Name.Name) {
+		return
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				return
+			}
+		}
+	}
+	recv := recvTypeName(fd)
+	siblings := byRecv[recv]
+	if siblings[fd.Name.Name+"Ctx"] || siblings[fd.Name.Name+"Context"] {
+		return // legacy wrapper with a context-taking sibling
+	}
+	if recv != "" && siblings["WithContext"] {
+		return // context is configured on the receiver (blocking.Result style)
+	}
+	pass.Report(fd.Name.Pos(), "exported pipeline entry point %s accepts no context.Context and has "+
+		"no %s/%s sibling; long-running work must be cancellable",
+		fd.Name.Name, fd.Name.Name+"Ctx", fd.Name.Name+"Context")
+}

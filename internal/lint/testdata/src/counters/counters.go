@@ -1,0 +1,57 @@
+// Package counters is an atomicstats fixture: no mixed atomic/plain
+// access, no value copies of atomic-bearing stats.
+package counters
+
+import "sync/atomic"
+
+// legacyStats uses pre-typed atomics: the field is atomic only by
+// convention, which is exactly what the analyzer polices.
+type legacyStats struct {
+	bytes int64
+	parts int64
+}
+
+func (s *legacyStats) Note(n int64) {
+	atomic.AddInt64(&s.bytes, n)
+}
+
+// Flagged: plain read of an atomically-written field.
+func (s *legacyStats) Bytes() int64 {
+	return s.bytes // want "plain access to counters.bytes"
+}
+
+// Flagged: plain increment of an atomically-written field.
+func (s *legacyStats) Bump() {
+	s.bytes++ // want "plain access to counters.bytes"
+}
+
+// Allowed: consistently atomic.
+func (s *legacyStats) BytesAtomic() int64 {
+	return atomic.LoadInt64(&s.bytes)
+}
+
+// Allowed: parts is never accessed atomically, so plain access is fine.
+func (s *legacyStats) Parts() int64 {
+	return s.parts
+}
+
+// typedStats uses the typed atomics, whose methods are the only access.
+type typedStats struct {
+	bytes atomic.Int64
+}
+
+func (s *typedStats) Note(n int64) { s.bytes.Add(n) }
+
+// Flagged: copying tears the counters.
+func snapshot(s *typedStats) typedStats {
+	return *s // want "copies typedStats by value"
+}
+
+// Flagged: a legacy-atomic struct copied by value.
+func snapshotLegacy(s *legacyStats) *legacyStats {
+	cp := *s // want "copies legacyStats by value"
+	return &cp
+}
+
+// Allowed: sharing by pointer.
+func share(s *typedStats) *typedStats { return s }

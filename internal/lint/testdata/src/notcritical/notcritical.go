@@ -1,0 +1,13 @@
+// Package notcritical is outside every scoped analyzer's package set:
+// identical loops to the search fixture produce no findings here.
+package notcritical
+
+import "fmt"
+
+func freeToIterate(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}

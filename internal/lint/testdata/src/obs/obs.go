@@ -1,0 +1,12 @@
+// Package obs is a fixture stand-in for affidavit/internal/obs: the
+// obsevent analyzer keys on the Sink type by package last-segment + name.
+package obs
+
+// Event is one pipeline event.
+type Event struct {
+	Kind int
+	Poll int
+}
+
+// Sink receives events.
+type Sink func(Event)

@@ -1,0 +1,111 @@
+// Package search is a mapiter/nondet fixture shaped like the real
+// determinism-critical search package.
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Flagged: the loop feeds an ordered sink (append of formatted entries).
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "unordered iteration over map"
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Flagged: values drive an order-sensitive accumulation (string concat).
+func badConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "unordered iteration over map"
+		s = s + v
+	}
+	return s
+}
+
+// Flagged: float accumulation is order-sensitive (rounding).
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "unordered iteration over map"
+		sum += v
+	}
+	return sum
+}
+
+// Allowed: append then sort — the canonical sorted-keys idiom.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed: integer counting commutes.
+func goodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+		n++
+	}
+	return n
+}
+
+// Allowed: map writes indexed by the loop key cannot collide.
+func goodInvert(m map[string]int) map[string]bool {
+	set := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v == 0 {
+			continue
+		}
+		set[k] = v > 0
+	}
+	return set
+}
+
+// Allowed: deleting visited keys commutes.
+func goodPrune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Allowed: keyless iteration is order-blind.
+func goodDrain(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Allowed: justified escape hatch.
+func goodJustified(m map[string]int) int {
+	best := -1
+	//affidavit:ordered deterministic min over all entries with total-order tie-break
+	for _, v := range m {
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Still flagged: a directive without a justification suppresses nothing.
+func badUnjustified(m map[string]int) int {
+	best := -1
+	//affidavit:ordered
+	for _, v := range m { // want "carries no justification"
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,69 @@
+// Package session is a ctxflow fixture shaped like the real pipeline
+// session package.
+package session
+
+import "context"
+
+// Flagged: the context parameter is accepted but never consulted.
+func ExplainIgnored(ctx context.Context, n int) int { // want `context.Context parameter "ctx" is never used`
+	return n * 2
+}
+
+// Flagged: a discarded context parameter.
+func ExplainDiscarded(_ context.Context, n int) int { // want "context.Context parameter is discarded"
+	return n + 1
+}
+
+// Flagged: the poll loop can never observe cancellation.
+func ExplainBlindLoop(ctx context.Context, work chan int) int {
+	_ = ctx.Err()
+	total := 0
+	for { // want "unconditional loop in ExplainBlindLoop never checks its context"
+		w, ok := <-work
+		if !ok {
+			return total
+		}
+		total += w
+	}
+}
+
+// Allowed: the loop selects on ctx.Done.
+func ExplainPolling(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case w := <-work:
+			total += w
+		}
+	}
+}
+
+// Flagged: an exported entry point with no context and no sibling.
+func ExplainPair(a, b string) string { // want "accepts no context.Context"
+	return a + b
+}
+
+// Allowed: the legacy wrapper pairs with a context-taking sibling.
+func Build(a string) string { return BuildCtx(context.Background(), a) }
+
+func BuildCtx(ctx context.Context, a string) string {
+	if ctx.Err() != nil {
+		return ""
+	}
+	return a
+}
+
+// Result mirrors blocking.Result: context is configured on the receiver.
+type Result struct{ ctx context.Context }
+
+func (r *Result) WithContext(ctx context.Context) *Result { return &Result{ctx: ctx} }
+
+// Allowed: Refine-style entry whose receiver offers WithContext.
+func (r *Result) Explain(n int) int {
+	if r.ctx != nil && r.ctx.Err() != nil {
+		return 0
+	}
+	return n
+}

@@ -68,6 +68,7 @@ func (q *boundedQueue) Add(s *State) (admitted, evicted bool) {
 func (q *boundedQueue) Poll() *State {
 	var best *State
 	bestLevel := -1
+	//affidavit:ordered argmin with a total tie-break (cost, level, assignment key); the polled state is independent of visit order
 	for level, lv := range q.levels {
 		for _, s := range lv {
 			if best == nil || s.cost < best.cost ||

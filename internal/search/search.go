@@ -273,7 +273,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (res *Result, 
 		return nil, fmt.Errorf("search: WarmStart has %d functions, schema has %d attributes",
 			len(opts.WarmStart), inst.NumAttrs())
 	}
-	start := time.Now()
+	start := time.Now() //affidavit:ignore nondet Stats.Duration is a wall-time diagnostic, excluded from coded output and goldens
 	e := &engine{
 		ctx:   ctx,
 		opts:  opts,
@@ -294,7 +294,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (res *Result, 
 		if err := expl.Validate(); err != nil {
 			return nil, fmt.Errorf("search: produced invalid explanation: %w", err)
 		}
-		e.stats.Duration = time.Since(start)
+		e.stats.Duration = time.Since(start) //affidavit:ignore nondet Stats.Duration is a wall-time diagnostic, excluded from coded output and goldens
 		cost := e.cm.Cost(expl)
 		// Spill totals are aggregated per run and emitted from the polling
 		// goroutine just before the done event: both engines evaluate the

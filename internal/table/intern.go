@@ -157,6 +157,7 @@ func (p *DictPool) Attrs() int {
 func (p *DictPool) Values() int {
 	p.mu.Lock()
 	sum := 0
+	//affidavit:ordered commutative sum of per-dict lengths; Len is a pure accessor
 	for _, d := range p.dicts {
 		sum += d.Len()
 	}

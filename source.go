@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Source yields one snapshot's records incrementally, so an Explainer can
@@ -121,6 +122,7 @@ type jsonlSource struct {
 	schema  *Schema
 	pending Record // first record, decoded while deriving the schema
 	line    int
+	keybuf  []string // reused per record for sorted-key iteration
 }
 
 // NewJSONLSource returns a streaming Source over JSON Lines content.
@@ -204,16 +206,26 @@ func (s *jsonlSource) nextObject() (map[string]json.RawMessage, []byte, error) {
 	return nil, nil, io.EOF
 }
 
-// record flattens one decoded object onto the schema.
+// record flattens one decoded object onto the schema. Keys are visited in
+// sorted order so that when several keys are invalid, the error always
+// names the same one — map-order iteration would make failure messages
+// (and therefore logs and test goldens) vary between runs.
 func (s *jsonlSource) record(obj map[string]json.RawMessage) (Record, error) {
+	keys := s.keybuf[:0]
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s.keybuf = keys
+
 	rec := make(Record, s.schema.Len())
-	for k, raw := range obj {
+	for _, k := range keys {
 		a := s.schema.Index(k)
 		if a < 0 {
 			return nil, fmt.Errorf("affidavit: jsonl line %d: key %q not in schema %v",
 				s.line, k, s.schema.Attrs())
 		}
-		v, err := scalarString(raw)
+		v, err := scalarString(obj[k])
 		if err != nil {
 			return nil, fmt.Errorf("affidavit: jsonl line %d, key %q: %w", s.line, k, err)
 		}

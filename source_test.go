@@ -225,6 +225,29 @@ func TestSourceErrors(t *testing.T) {
 	}
 }
 
+// TestJSONLErrorDeterminism: when a line carries several out-of-schema
+// keys, the error always names the lexicographically-smallest one. The
+// mapiter analyzer flagged the original map-order iteration in
+// jsonlSource.record — with eight bad keys the reported key would vary
+// between runs; this pins the sorted-key fix.
+func TestJSONLErrorDeterminism(t *testing.T) {
+	ex, err := affidavit.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const doc = `{"a":"1"}` + "\n" +
+		`{"z8":"1","z5":"1","z2":"1","z7":"1","z1":"1","z4":"1","z6":"1","z3":"1"}` + "\n"
+	for i := 0; i < 25; i++ {
+		_, err := ex.ReadSource(context.Background(), affidavit.NewJSONLSource(strings.NewReader(doc)))
+		if err == nil {
+			t.Fatal("out-of-schema keys accepted")
+		}
+		if !strings.Contains(err.Error(), `key "z1"`) {
+			t.Fatalf("run %d: err = %v, want the smallest key z1", i, err)
+		}
+	}
+}
+
 // TestJSONLValueSpelling: numbers keep their literal spelling, bools and
 // nulls map stably — the cells must round-trip exactly like CSV cells.
 func TestJSONLValueSpelling(t *testing.T) {
