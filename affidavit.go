@@ -189,6 +189,11 @@ type Result struct {
 	TrivialCost float64
 	// Stats reports search effort.
 	Stats Stats
+	// Trace is the run's structured trace — stage spans with wall times,
+	// poll trajectory, spill totals — recorded when the Explainer was
+	// built WithTracing; nil otherwise. Wall-clock values live only here,
+	// so tracing never perturbs the deterministic outputs.
+	Trace *Trace
 
 	alpha float64
 }

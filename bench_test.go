@@ -13,6 +13,7 @@
 //	BenchmarkFigure6Attrs/...      — attribute scalability
 //	BenchmarkChain*                — snapshot-chain sessions: warm vs cold, pooled interning
 //	BenchmarkAblation*             — queue width ϱ, branching β, start states, θ
+//	BenchmarkTraceOverhead         — per-run tracing cost, on vs off
 //
 // Large datasets run at reduced row counts so the suite stays benchable;
 // cmd/table2, cmd/rowscale and cmd/attrscale regenerate the full-size
@@ -495,4 +496,54 @@ func BenchmarkCSVSourceIngest(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTraceOverhead pins the tracing bargain: with tracing disabled
+// (the default) the per-run observer chain contributes nothing — no
+// recorder, no context sink, no per-poll cost — and with tracing enabled
+// the recorder's per-event fold stays cheap enough to leave on in
+// production services. Compare untraced/traced ns/op in the trajectory
+// artifacts.
+func BenchmarkTraceOverhead(b *testing.B) {
+	spec, err := datasets.Get("bridges")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := spec.Build(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		tracing bool
+	}{
+		{"untraced", false},
+		{"traced", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := []affidavit.Option{affidavit.WithSeed(9)}
+			if mode.tracing {
+				opts = append(opts, affidavit.WithTracing())
+			}
+			ex, err := affidavit.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ex.ExplainSources(context.Background(),
+					affidavit.TableSource(p.Inst.Source), affidavit.TableSource(p.Inst.Target))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.tracing && (res.Trace == nil || !res.Trace.Complete) {
+					b.Fatal("traced run produced no complete trace")
+				}
+			}
+		})
+	}
 }

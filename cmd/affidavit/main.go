@@ -11,7 +11,10 @@
 // migration script is printed; with -diff N the first N aligned records are
 // shown as before/after views; with -json the result is emitted in the
 // same stable encoding affidavitd serves; with -progress the pipeline
-// narrates ingest and search progress on stderr.
+// narrates ingest and search progress on stderr; with -trace-out the run's
+// structured trace (per-stage wall-clock spans, the poll cost curve, spill
+// totals) is appended to a JSONL file; with -pprof a net/http/pprof
+// listener serves profiling data for the process lifetime.
 //
 // Snapshots are streamed: each CSV is interned into the columnar backend
 // row by row, so memory is bounded by the distinct values, not the file
@@ -39,14 +42,26 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the stable JSON encoding (explanation, SQL, stats) instead of the text report")
 	)
 	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{})
+	diag := cliutil.RegisterDiag(flag.CommandLine)
 	flag.Parse()
 	if *source == "" || *target == "" {
 		fmt.Fprintln(os.Stderr, "affidavit: -source and -target are required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	diag.StartPprof()
+	traceLog, err := diag.OpenTraceLog()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "affidavit:", err)
+		os.Exit(2)
+	}
+	defer traceLog.Close()
 
-	ex, err := cfg.Explainer(affidavit.WithObserver(cfg.ProgressObserver()))
+	opts := []affidavit.Option{affidavit.WithObserver(cfg.ProgressObserver())}
+	if traceLog != nil {
+		opts = append(opts, affidavit.WithTracing())
+	}
+	ex, err := cfg.Explainer(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavit:", err)
 		os.Exit(2)
@@ -65,6 +80,9 @@ func main() {
 	if res.Stats.Cancelled {
 		fmt.Fprintln(os.Stderr, "affidavit: cancelled (interrupt received); partial result discarded")
 		os.Exit(1)
+	}
+	if err := traceLog.Append(res.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "affidavit: trace-out:", err)
 	}
 	if *asJSON {
 		out, err := res.JSON(*sqlName)

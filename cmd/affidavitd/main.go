@@ -11,18 +11,30 @@
 //
 // Endpoints:
 //
-//	POST /explain   multipart upload: files "source" and "target" (CSV,
-//	                first row = header), streamed record-by-record into the
-//	                interned columnar backend — snapshots are never
-//	                buffered whole, so uploads beyond the historical
-//	                -max-upload cap are fine; optional values "table"
-//	                (session key, default "table"), "format" (json | sql |
-//	                text), "warm" ("1" = chain mode: warm-start from the
-//	                table's previous explanation and store the new one)
-//	GET  /stats     per-table session counters + eviction totals
-//	GET  /metrics   Prometheus-style pipeline counters (ingest volume,
-//	                cold/warm/escalated runs, polls, conversions)
-//	GET  /healthz   liveness probe
+//	POST /explain      multipart upload: files "source" and "target" (CSV,
+//	                   first row = header), streamed record-by-record into
+//	                   the interned columnar backend — snapshots are never
+//	                   buffered whole, so uploads beyond the historical
+//	                   -max-upload cap are fine; optional values "table"
+//	                   (session key, default "table"), "format" (json | sql
+//	                   | text), "warm" ("1" = chain mode: warm-start from
+//	                   the table's previous explanation and store the new
+//	                   one), "trace" ("1" = inline the run's structured
+//	                   trace in the JSON response). Every response carries
+//	                   X-Affidavit-Trace-Id naming the run's trace.
+//	GET  /traces       index of recent run traces, most recent first
+//	GET  /traces/{id}  one full structured trace: per-stage wall-clock
+//	                   spans (ingest, search, finalize, convert), the
+//	                   thinned poll cost curve, spill totals
+//	GET  /stats        process start time/uptime/Go version, per-table
+//	                   session counters, eviction totals
+//	GET  /metrics      Prometheus-style pipeline counters (ingest volume,
+//	                   cold/warm/escalated runs, polls, conversions) and
+//	                   run/ingest duration histograms fed from traces
+//	GET  /healthz      liveness probe
+//
+// With -pprof, net/http/pprof profiling handlers are additionally mounted
+// under /debug/pprof/.
 //
 // Operating knobs:
 //
@@ -41,6 +53,9 @@
 //	               maps spill to temp files instead of growing the heap;
 //	               explanations are unchanged, /stats and /metrics report
 //	               the spilled volume
+//	-trace-buffer  retained run traces behind /traces (default 128;
+//	               0 disables per-request tracing entirely)
+//	-pprof         mount net/http/pprof handlers under /debug/pprof/
 //
 // SIGINT/SIGTERM cancel in-flight explanations cooperatively and shut the
 // listener down gracefully.
@@ -78,6 +93,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-request explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
 		maxSessions = flag.Int("max-sessions", 0, "retained per-table sessions (0 = unlimited; excess evicts least-recently-used)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "idle session lifetime (0 = sessions never expire)")
+		traceBuffer = flag.Int("trace-buffer", defaultTraceBuffer, "retained run traces behind /traces (0 = disable per-request tracing)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{})
 	flag.Parse()
@@ -103,6 +120,8 @@ func main() {
 		timeout:          *timeout,
 		maxSessions:      *maxSessions,
 		sessionTTL:       *sessionTTL,
+		traceBuffer:      *traceBuffer,
+		pprof:            *pprofFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavitd:", err)

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,9 +65,19 @@ type serverConfig struct {
 	// never expire. Eviction frees the table's dictionary pool and warm
 	// state; the next upload for that table simply starts a fresh session.
 	sessionTTL time.Duration
+	// traceBuffer caps the ring of recent run traces served by /traces;
+	// 0 disables per-request tracing entirely (no recorder, no
+	// X-Affidavit-Trace-Id header, ?trace=1 ignored). Negative means the
+	// default of defaultTraceBuffer.
+	traceBuffer int
+	// pprof mounts net/http/pprof handlers under /debug/pprof/ when set.
+	pprof bool
 	// now is the clock; nil means time.Now. Tests inject a fake.
 	now func() time.Time
 }
+
+// defaultTraceBuffer is the trace ring size when -trace-buffer is unset.
+const defaultTraceBuffer = 128
 
 // server routes explanation traffic onto per-table affidavit sessions: all
 // uploads naming the same table share one dictionary pool (and, in chain
@@ -81,10 +94,17 @@ type server struct {
 	ex          *affidavit.Explainer
 	metrics     *affidavit.MetricsObserver
 	maxInflight chan struct{} // nil = unlimited
+	startedAt   time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
 	evicted  int // sessions dropped by TTL or LRU, for /stats
+
+	// traceMu guards the bounded ring of recent run traces behind /traces.
+	// traceNext is the slot the next trace overwrites once the ring is full.
+	traceMu   sync.Mutex
+	traces    []*affidavit.Trace
+	traceNext int
 }
 
 // sessionEntry is one table's session plus the bookkeeping eviction needs.
@@ -106,6 +126,9 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.maxSnapshotBytes == 0 {
 		cfg.maxSnapshotBytes = 1 << 30
 	}
+	if cfg.traceBuffer < 0 {
+		cfg.traceBuffer = defaultTraceBuffer
+	}
 	metrics := affidavit.NewMetricsObserver()
 	ex, err := affidavit.New(append(append([]affidavit.Option{}, cfg.options...),
 		affidavit.WithObserver(affidavit.Observers(metrics, cfg.observer)))...)
@@ -113,10 +136,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	s := &server{
-		cfg:      cfg,
-		ex:       ex,
-		metrics:  metrics,
-		sessions: make(map[string]*sessionEntry),
+		cfg:       cfg,
+		ex:        ex,
+		metrics:   metrics,
+		sessions:  make(map[string]*sessionEntry),
+		startedAt: cfg.now(),
 	}
 	if cfg.maxInflight > 0 {
 		s.maxInflight = make(chan struct{}, cfg.maxInflight)
@@ -203,11 +227,120 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.metrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/", s.handleTraces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// storeTrace records a finished run trace in the bounded ring (oldest
+// overwritten first) and feeds the duration histograms on /metrics.
+func (s *server) storeTrace(tr *affidavit.Trace) {
+	if tr == nil || s.cfg.traceBuffer == 0 {
+		return
+	}
+	s.metrics.ObserveTrace(tr)
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if len(s.traces) < s.cfg.traceBuffer {
+		s.traces = append(s.traces, tr)
+		return
+	}
+	s.traces[s.traceNext] = tr
+	s.traceNext = (s.traceNext + 1) % s.cfg.traceBuffer
+}
+
+// recentTraces returns the retained traces, most recent first.
+func (s *server) recentTraces() []*affidavit.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	n := len(s.traces)
+	out := make([]*affidavit.Trace, 0, n)
+	// Before the ring wraps traceNext stays 0 and traces append in order;
+	// after it wraps traceNext is the oldest slot. Either way the newest
+	// trace sits at traceNext-1 (mod n) and older ones walk backwards.
+	for i := 0; i < n; i++ {
+		out = append(out, s.traces[((s.traceNext-1-i)%n+n)%n])
+	}
+	return out
+}
+
+// traceByID returns the retained trace with the given ID, or nil.
+func (s *server) traceByID(id string) *affidavit.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	for _, tr := range s.traces {
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// traceIndexEntry is one /traces index row: enough to pick a trace
+// without shipping its spans and cost curve.
+type traceIndexEntry struct {
+	ID         string    `json:"id"`
+	Label      string    `json:"label,omitempty"`
+	StartedAt  time.Time `json:"started_at"`
+	DurationMS float64   `json:"duration_ms"`
+	Mode       string    `json:"mode,omitempty"`
+	Polls      int       `json:"polls"`
+	Cost       float64   `json:"cost"`
+	Cancelled  bool      `json:"cancelled,omitempty"`
+}
+
+// handleTraces serves GET /traces (index of retained run traces, most
+// recent first) and GET /traces/{id} (one full structured trace).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.traceBuffer == 0 {
+		http.Error(w, "tracing disabled (-trace-buffer 0)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/traces"), "/")
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if id == "" {
+		recent := s.recentTraces()
+		index := make([]traceIndexEntry, len(recent))
+		for i, tr := range recent {
+			index[i] = traceIndexEntry{
+				ID:         tr.ID,
+				Label:      tr.Label,
+				StartedAt:  tr.StartedAt,
+				DurationMS: tr.DurationMS,
+				Mode:       tr.Mode,
+				Polls:      tr.Polls.Polls,
+				Cost:       tr.Cost,
+				Cancelled:  tr.Cancelled,
+			}
+		}
+		enc.Encode(struct {
+			Traces []traceIndexEntry `json:"traces"`
+		}{index})
+		return
+	}
+	tr := s.traceByID(id)
+	if tr == nil {
+		http.Error(w, fmt.Sprintf("no retained trace %q (ring keeps the last %d)", id, s.cfg.traceBuffer), http.StatusNotFound)
+		return
+	}
+	enc.Encode(tr)
 }
 
 // deadlineResponse is the 503 body: the request ran out of budget, and
@@ -369,6 +502,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// One trace recorder rides the whole request on its context: the
+	// streamed upload ingest (readUpload) and the session explain feed the
+	// same per-run trace, retained in the /traces ring.
+	var rec *affidavit.TraceRecorder
+	if s.cfg.traceBuffer != 0 {
+		rec = affidavit.NewTraceRecorder()
+		ctx = affidavit.ContextWithObserver(ctx, rec)
+	}
 	src, tgt, form, err := s.readUpload(ctx, r)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -401,6 +542,16 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	var tr *affidavit.Trace
+	if rec != nil {
+		rec.SetLabel(table)
+		tr = rec.Trace()
+		s.storeTrace(tr)
+		// Cancelled runs answer 503, but their trace is retained too —
+		// a truncated cost curve is exactly what a timeout post-mortem
+		// wants to see.
+		w.Header().Set("X-Affidavit-Trace-Id", tr.ID)
+	}
 	if res.Stats.Cancelled {
 		st := affidavit.StatsJSON(res.Stats)
 		st.Cancelled = false // the 503 body's error field already says it
@@ -418,7 +569,13 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	switch value("format") {
 	case "", "json":
-		out, err := res.JSON(table)
+		jr := res.JSONResult(table)
+		// ?trace=1 inlines the same trace /traces/{id} serves; plain
+		// responses stay byte-identical to untraced runs.
+		if tr != nil && value("trace") == "1" {
+			jr.Trace = tr
+		}
+		out, err := json.MarshalIndent(jr, "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -444,6 +601,11 @@ type tableStats struct {
 }
 
 type statsResponse struct {
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	GoVersion     string    `json:"go_version"`
+	// TracesRetained counts the run traces currently in the /traces ring.
+	TracesRetained  int                   `json:"traces_retained"`
 	Tables          map[string]tableStats `json:"tables"`
 	SessionsEvicted int                   `json:"sessions_evicted"`
 	// Out-of-core totals under -mem-budget (mirrors /metrics'
@@ -452,9 +614,14 @@ type statsResponse struct {
 	SpillPartitions int64 `json:"spill_partitions_total"`
 }
 
-// handleStats serves GET /stats: per-table session counters plus the
-// lifetime eviction count.
+// handleStats serves GET /stats: process identity (start time, uptime, Go
+// version) plus per-table session counters and the lifetime eviction
+// count.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	now := s.cfg.now()
+	s.traceMu.Lock()
+	retained := len(s.traces)
+	s.traceMu.Unlock()
 	s.mu.Lock()
 	names := make([]string, 0, len(s.sessions))
 	for name := range s.sessions {
@@ -474,6 +641,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(statsResponse{
+		StartedAt:       s.startedAt,
+		UptimeSeconds:   now.Sub(s.startedAt).Seconds(),
+		GoVersion:       runtime.Version(),
+		TracesRetained:  retained,
 		Tables:          out,
 		SessionsEvicted: evicted,
 		SpillBytes:      spillBytes,

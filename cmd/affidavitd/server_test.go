@@ -460,6 +460,171 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// postResp is post, but also returns the response headers — trace tests
+// need X-Affidavit-Trace-Id.
+func postResp(t *testing.T, srv *httptest.Server, url, source, target string, fields map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	ctype, body := multipartBody(t, source, target, fields)
+	resp, err := http.Post(url, ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestTracesEndpoint is the tracing acceptance path: a traced /explain
+// tags its response with X-Affidavit-Trace-Id, /traces/{id} then returns
+// the complete structured trace for that run, and ?trace=1 inlines the
+// same trace in the JSON response.
+func TestTracesEndpoint(t *testing.T) {
+	s := mustServer(t, serverConfig{options: testOptions(), traceBuffer: 8})
+	srv := httptest.NewServer(s.handler())
+	t.Cleanup(srv.Close)
+	ch := testChain(t, 1)
+	src, tgt := csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1])
+
+	resp, body := postResp(t, srv, srv.URL+"/explain", src, tgt, map[string]string{"table": "traced"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Affidavit-Trace-Id")
+	if id == "" {
+		t.Fatal("no X-Affidavit-Trace-Id header on a traced response")
+	}
+	if strings.Contains(string(body), `"trace"`) {
+		t.Error("plain response inlined a trace without ?trace=1")
+	}
+
+	// The index lists the run, most recent first.
+	idxResp, err := http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idxResp.Body.Close()
+	var index struct {
+		Traces []traceIndexEntry `json:"traces"`
+	}
+	if err := json.NewDecoder(idxResp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index.Traces) != 1 || index.Traces[0].ID != id || index.Traces[0].Label != "traced" {
+		t.Fatalf("index = %+v, want one entry for %s/traced", index.Traces, id)
+	}
+
+	// The full trace is complete and structured: ingest spans for both
+	// snapshots, a search span, a populated poll summary.
+	trResp, err := http.Get(srv.URL + "/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trResp.Body.Close()
+	var tr affidavit.Trace
+	if err := json.NewDecoder(trResp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if trResp.StatusCode != http.StatusOK || tr.ID != id || !tr.Complete {
+		t.Fatalf("trace fetch: status %d, trace %+v", trResp.StatusCode, tr)
+	}
+	for _, stage := range []string{"ingest:source", "ingest:target", "search", "convert"} {
+		if tr.SpanFor(stage) == nil {
+			t.Errorf("trace missing span %q (spans: %+v)", stage, tr.Spans)
+		}
+	}
+	if tr.Polls.Polls == 0 || len(tr.Polls.Curve) == 0 {
+		t.Errorf("poll summary not populated: %+v", tr.Polls)
+	}
+	if tr.Mode != "cold" {
+		t.Errorf("mode %q, want cold", tr.Mode)
+	}
+
+	// ?trace=1 inlines the run's own trace.
+	resp2, body2 := postResp(t, srv, srv.URL+"/explain?trace=1", src, tgt, map[string]string{"table": "traced"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("trace=1 explain: status %d: %s", resp2.StatusCode, body2)
+	}
+	var jr affidavit.JSONResult
+	if err := json.Unmarshal(body2, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Trace == nil || jr.Trace.ID != resp2.Header.Get("X-Affidavit-Trace-Id") {
+		t.Fatalf("inlined trace = %+v, want the run of header %q", jr.Trace, resp2.Header.Get("X-Affidavit-Trace-Id"))
+	}
+
+	// Unknown IDs 404.
+	nf, err := http.Get(srv.URL + "/traces/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d", nf.StatusCode)
+	}
+
+	// /stats counts the retained traces.
+	st, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.TracesRetained != 2 {
+		t.Errorf("traces_retained %d, want 2", stats.TracesRetained)
+	}
+	if stats.GoVersion == "" || stats.StartedAt.IsZero() {
+		t.Errorf("stats identity fields missing: %+v", stats)
+	}
+}
+
+// TestTraceRingBound: the ring keeps only the newest -trace-buffer traces,
+// index ordered most recent first.
+func TestTraceRingBound(t *testing.T) {
+	s := mustServer(t, serverConfig{options: testOptions(), traceBuffer: 2})
+	for i := 0; i < 3; i++ {
+		s.storeTrace(&affidavit.Trace{ID: fmt.Sprintf("t%d", i), Complete: true})
+	}
+	recent := s.recentTraces()
+	if len(recent) != 2 || recent[0].ID != "t2" || recent[1].ID != "t1" {
+		t.Fatalf("recent = %+v, want [t2 t1]", recent)
+	}
+	if s.traceByID("t0") != nil {
+		t.Error("evicted trace still resolvable")
+	}
+}
+
+// TestTracingDisabled: -trace-buffer 0 means no recorder, no header, and
+// /traces answers 404.
+func TestTracingDisabled(t *testing.T) {
+	srv := testServer(t) // zero-value config: tracing off
+	ch := testChain(t, 1)
+	resp, body := postResp(t, srv, srv.URL+"/explain?trace=1",
+		csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1]), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Affidavit-Trace-Id"); h != "" {
+		t.Errorf("unexpected trace header %q with tracing disabled", h)
+	}
+	if strings.Contains(string(body), `"trace"`) {
+		t.Error("trace inlined with tracing disabled")
+	}
+	tresp, err := http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusNotFound {
+		t.Errorf("/traces with tracing disabled: status %d", tresp.StatusCode)
+	}
+}
+
 // TestStreamingBeyondMaxUpload: file parts stream into the interned
 // backend, so an upload far larger than -max-upload explains fine — the
 // cap only bounds buffered non-file values now.

@@ -24,6 +24,7 @@ import (
 func main() {
 	fdRows := flag.Int("fd-red-rows", 25000, "fd-red-30 record count (paper: 250000)")
 	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{Seed: 1})
+	diag := cliutil.RegisterDiag(flag.CommandLine)
 	flag.Parse()
 
 	// Ctrl-C cancels the sweep cooperatively between (and within) runs.
@@ -35,6 +36,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attrscale:", err)
 		os.Exit(2)
 	}
+	diag.StartPprof()
+	traceLog, err := diag.OpenTraceLog()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attrscale:", err)
+		os.Exit(2)
+	}
+	defer traceLog.Close()
+	// Every dataset's run appends one structured trace line.
+	traceLog.WireSearch(&opts)
 	points, err := eval.Figure6(ctx, eval.Figure6Spec{
 		Rows: map[string]int{"fd-red-30": *fdRows},
 		Seed: *cfg.Seed,

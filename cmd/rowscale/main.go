@@ -29,6 +29,7 @@ func main() {
 		factors  = flag.String("factors", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "comma-separated scaling factors")
 	)
 	cfg := cliutil.Register(flag.CommandLine, cliutil.Defaults{Seed: 1})
+	diag := cliutil.RegisterDiag(flag.CommandLine)
 	flag.Parse()
 
 	var fs []float64
@@ -49,6 +50,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rowscale:", err)
 		os.Exit(2)
 	}
+	diag.StartPprof()
+	traceLog, err := diag.OpenTraceLog()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rowscale:", err)
+		os.Exit(2)
+	}
+	defer traceLog.Close()
+	// Every sweep point's run appends one structured trace line.
+	traceLog.WireSearch(&opts)
 	points, err := eval.Figure5(ctx, eval.Figure5Spec{
 		BaseRows: *baseRows,
 		Factors:  fs,

@@ -12,6 +12,7 @@ import (
 	"affidavit/internal/session"
 	"affidavit/internal/spill"
 	"affidavit/internal/table"
+	"affidavit/internal/trace"
 )
 
 // Explainer is the long-lived front door of the package: one fully-resolved
@@ -32,10 +33,11 @@ import (
 // run copies the configuration. Sessions created via Session share the
 // Explainer's configuration and observer.
 type Explainer struct {
-	so     search.Options
-	metas  []metafunc.Meta
-	obs    Observer
-	budget int64 // WithMemBudget; 0 = unlimited
+	so      search.Options
+	metas   []metafunc.Meta
+	obs     Observer
+	budget  int64 // WithMemBudget; 0 = unlimited
+	tracing bool  // WithTracing; record a per-run Trace into Result.Trace
 }
 
 // Option configures an Explainer. Options apply in order; later options
@@ -150,8 +152,20 @@ func WithExtraMetas(metas ...Meta) Option {
 // within one run arrive in deterministic order for a fixed seed;
 // concurrent runs interleave, so shared observers must be safe for
 // concurrent use. A nil observer is the default no-op and costs nothing on
-// the hot path.
-func WithObserver(o Observer) Option { return func(e *Explainer) { e.obs = o } }
+// the hot path; Observers(...) compositions normalise to that same nil,
+// so WithObserver(Observers(nil, nil)) is equally free.
+func WithObserver(o Observer) Option { return func(e *Explainer) { e.obs = Observers(o) } }
+
+// WithTracing records a structured per-run trace into Result.Trace: stage
+// spans with wall times (ingest source/target, search, finalize, convert),
+// the warm/cold/escalated start decision, a bounded poll cost-curve
+// sample, and spill totals. Each run gets its own recorder attached
+// through the Observers fan-out, so concurrent runs trace independently
+// and any WithObserver observer keeps receiving every event. Wall-clock
+// values are captured out-of-band in the recorder — the event stream and
+// Result.JSON stay byte-identical with tracing on or off. Batch runs
+// (ExplainBatch) are not traced: their pairs interleave on one context.
+func WithTracing() Option { return func(e *Explainer) { e.tracing = true } }
 
 // FromOptions applies a legacy Options struct with its historical
 // zero-value semantics (zero fields fall back to defaults) — the bridge
@@ -173,16 +187,48 @@ func (e *Explainer) searchOptions() search.Options {
 	return so
 }
 
+// traceRun attaches a fresh per-run trace recorder to ctx when tracing is
+// enabled, so every emission point serving this run — ingest drains and
+// the search loop alike — feeds it alongside the configured observer.
+func (e *Explainer) traceRun(ctx context.Context) (context.Context, *trace.Recorder) {
+	if !e.tracing {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rec := trace.NewRecorder(trace.NewID())
+	return obs.ContextWithSink(ctx, rec.Observe), rec
+}
+
+// runSink is the ingest-path event sink for one call: the configured
+// observer chained with any per-run sink the context carries.
+func (e *Explainer) runSink(ctx context.Context) obs.Sink {
+	var base obs.Sink
+	if e.obs != nil {
+		base = e.obs.Observe
+	}
+	return obs.Chain(base, obs.FromContext(ctx))
+}
+
 // Explain explains the difference between two in-memory snapshots sharing
 // a schema. An interrupted ctx is not an error — the result carries the
 // best explanation found so far with Stats.Cancelled set (see the legacy
 // ExplainContext for details).
 func (e *Explainer) Explain(ctx context.Context, source, target *Table) (*Result, error) {
+	ctx, rec := e.traceRun(ctx)
 	inst, err := delta.NewInstance(source, target, e.metas)
 	if err != nil {
 		return nil, err
 	}
-	return e.explainInstance(ctx, inst)
+	res, err := e.explainInstance(ctx, inst)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		res.Trace = rec.Trace()
+	}
+	return res, nil
 }
 
 // ExplainSources streams two snapshots out of their Sources — interning
@@ -192,6 +238,7 @@ func (e *Explainer) Explain(ctx context.Context, source, target *Table) (*Result
 // buffered Explain path on the same data; only the ingest memory profile
 // differs. The observer (if any) sees ingest-progress events per chunk.
 func (e *Explainer) ExplainSources(ctx context.Context, source, target Source) (*Result, error) {
+	ctx, rec := e.traceRun(ctx)
 	// Open both sources and compare schemas BEFORE draining either: a
 	// mismatched pair (wrong file, renamed column) fails after two header
 	// reads, not after interning gigabytes.
@@ -241,6 +288,9 @@ func (e *Explainer) ExplainSources(ctx context.Context, source, target Source) (
 	// spills chunks) doesn't read as "spilled 0 bytes".
 	res.Stats.SpilledBytes += ingest.Bytes()
 	res.Stats.SpillPartitions += ingest.Partitions()
+	if rec != nil {
+		res.Trace = rec.Trace()
+	}
 	return res, nil
 }
 
@@ -306,9 +356,10 @@ func (e *Explainer) drainSourceAcc(ctx context.Context, src Source, schema *Sche
 		spillSt = &spill.Stats{}
 		b = b.WithSpill(e.so.Spill, spillSt)
 	}
+	sink := e.runSink(ctx)
 	emit := func(complete bool) {
-		if e.obs != nil {
-			e.obs.Observe(Event{Kind: obs.KindIngest, Snapshot: role, Records: b.Len(), Complete: complete})
+		if sink != nil {
+			sink(Event{Kind: obs.KindIngest, Snapshot: role, Records: b.Len(), Complete: complete})
 		}
 	}
 	for {
@@ -338,8 +389,8 @@ func (e *Explainer) drainSourceAcc(ctx context.Context, src Source, schema *Sche
 	emit(true)
 	if spillSt.Bytes() > 0 {
 		acc.Note(spillSt.Bytes(), int(spillSt.Partitions()))
-		if e.obs != nil {
-			e.obs.Observe(Event{
+		if sink != nil {
+			sink(Event{
 				Kind:       obs.KindSpill,
 				Component:  "ingest",
 				Snapshot:   role,
@@ -351,9 +402,11 @@ func (e *Explainer) drainSourceAcc(ctx context.Context, src Source, schema *Sche
 	return b.Table(), nil
 }
 
-// explainInstance runs the search on a prepared instance.
+// explainInstance runs the search on a prepared instance, chaining any
+// per-run context sink after the configured observer.
 func (e *Explainer) explainInstance(ctx context.Context, inst *delta.Instance) (*Result, error) {
 	so := e.searchOptions()
+	so.OnEvent = obs.Chain(so.OnEvent, obs.FromContext(ctx))
 	res, err := search.Run(ctx, inst, so)
 	if err != nil {
 		return nil, err
@@ -377,5 +430,6 @@ func (e *Explainer) Session(initial *Table) *Session {
 		inner:   session.New(initial, so, e.metas),
 		alpha:   so.Alpha,
 		workers: so.Workers,
+		tracing: e.tracing,
 	}
 }

@@ -6,13 +6,18 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux's profiling handlers
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 
 	"affidavit"
+	"affidavit/internal/obs"
 	"affidavit/internal/search"
 	"affidavit/internal/spill"
 )
@@ -53,6 +58,93 @@ func Register(fs *flag.FlagSet, d Defaults) *Flags {
 		Progress:  fs.Bool("progress", false, "narrate pipeline progress (ingest, polls, phases) on stderr"),
 		MemBudget: fs.String("mem-budget", "", "approximate per-run memory budget, e.g. 256MiB (empty = unlimited); beyond it cold column chunks, blocking group tables and the conversion's key maps spill to temp files — explanations are byte-identical, only peak memory changes"),
 	}
+}
+
+// Diag holds the shared diagnostics flags. They live in their own struct
+// (and RegisterDiag call) rather than in Flags because affidavitd defines
+// its own -pprof flag; only the one-shot CLIs register these.
+type Diag struct {
+	TraceOut *string
+	Pprof    *string
+}
+
+// RegisterDiag installs the shared diagnostics flags on fs.
+func RegisterDiag(fs *flag.FlagSet) *Diag {
+	return &Diag{
+		TraceOut: fs.String("trace-out", "", "append each run's structured trace (stage wall-clock spans, poll cost curve, spill totals) as a JSON line to this file"),
+		Pprof:    fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the process lifetime"),
+	}
+}
+
+// StartPprof starts the profiling listener when -pprof was set. Listener
+// failures are reported on stderr; they never stop the run itself.
+func (d *Diag) StartPprof() {
+	addr := *d.Pprof
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
+}
+
+// OpenTraceLog opens the -trace-out sink, or returns nil when the flag is
+// unset. The nil TraceLog is a valid no-op receiver, so call sites need no
+// conditionals.
+func (d *Diag) OpenTraceLog() (*TraceLog, error) {
+	if *d.TraceOut == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(*d.TraceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("-trace-out: %w", err)
+	}
+	return &TraceLog{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// TraceLog appends structured run traces to a file, one JSON object per
+// line. Safe for concurrent appends; a nil *TraceLog is a no-op.
+type TraceLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// Append writes one trace as a JSONL line. Nil receivers and nil traces
+// are no-ops.
+func (l *TraceLog) Append(tr *affidavit.Trace) error {
+	if l == nil || tr == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(tr)
+}
+
+// Close flushes and closes the log file.
+func (l *TraceLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.f.Close()
+}
+
+// WireSearch chains a trace collector after so.OnEvent: every run flowing
+// through the options gets its event stream folded into a trace and
+// appended to the log. Append failures surface once on stderr rather than
+// aborting an otherwise-healthy sweep.
+func (l *TraceLog) WireSearch(so *search.Options) {
+	if l == nil {
+		return
+	}
+	collector := affidavit.NewTraceCollector(func(tr *affidavit.Trace) {
+		if err := l.Append(tr); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-out:", err)
+		}
+	})
+	so.OnEvent = obs.Chain(so.OnEvent, collector.Observe)
 }
 
 // memBudget parses the -mem-budget flag (0 when unset).

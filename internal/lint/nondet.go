@@ -9,6 +9,9 @@ import (
 // interning and rendering whose behaviour must be a pure function of the
 // snapshots and the seed. The service layer (cmd/affidavitd, sessions) is
 // deliberately out of scope — wall clocks and environment belong there.
+// trace is in scope as a consumer of the deterministic event stream: its
+// one sanctioned clock site carries a justified ignore directive, and the
+// analyzer keeps new ones from sneaking in.
 var nondetScope = map[string]bool{
 	"search":   true,
 	"delta":    true,
@@ -19,6 +22,7 @@ var nondetScope = map[string]bool{
 	"metafunc": true,
 	"value":    true,
 	"report":   true,
+	"trace":    true,
 }
 
 // NonDet bans the ambient-nondeterminism entry points inside coded/search

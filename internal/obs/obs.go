@@ -12,7 +12,10 @@
 // for concurrent use.
 package obs
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Kind discriminates pipeline events.
 type Kind uint8
@@ -111,3 +114,44 @@ type Event struct {
 // for nil before constructing events, so an unobserved pipeline pays one
 // branch per emission point.
 type Sink func(Event)
+
+// Chain composes two sinks in order, treating nil as absent: the result is
+// nil when both are, and the single non-nil sink when only one is — so the
+// common unobserved path stays a plain nil check, never a wrapper call.
+func Chain(a, b Sink) Sink {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(ev Event) {
+		a(ev)
+		b(ev)
+	}
+}
+
+// sinkKey carries a per-run Sink through a context.
+type sinkKey struct{}
+
+// ContextWithSink attaches a per-run event sink to ctx: every emission
+// point that serves the run (ingest drains, the search loop) forwards its
+// events to s in addition to any configured observer. A sink already on
+// ctx is chained before s, so nested attachments compose. This is how a
+// per-request trace recorder follows one run through separate ingest and
+// explain calls without touching the long-lived Explainer configuration.
+func ContextWithSink(ctx context.Context, s Sink) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sinkKey{}, Chain(FromContext(ctx), s))
+}
+
+// FromContext returns the sink attached by ContextWithSink, or nil.
+func FromContext(ctx context.Context) Sink {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(sinkKey{}).(Sink)
+	return s
+}

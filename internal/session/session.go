@@ -23,6 +23,7 @@ import (
 
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/obs"
 	"affidavit/internal/search"
 	"affidavit/internal/table"
 )
@@ -115,6 +116,9 @@ func (s *Session) run(ctx context.Context, source, target *table.Table, warm del
 	}
 	opts := s.opts
 	opts.Workers = workers
+	// Chain any per-run context sink (a trace recorder riding the request)
+	// after the session's configured observer.
+	opts.OnEvent = obs.Chain(opts.OnEvent, obs.FromContext(ctx))
 	if warm != nil && warmSchema != nil && warmSchema.Equal(source.Schema()) {
 		opts.WarmStart = warm
 		opts.WarmPrevRatio = prevRatio

@@ -50,6 +50,10 @@ type JSONResult struct {
 	TrivialCost float64   `json:"trivial_cost"`
 	Compression float64   `json:"compression"`
 	Stats       JSONStats `json:"stats"`
+	// Trace is the run's structured trace. Result.JSONResult never sets it
+	// — wall-clock values would break the byte-identical guarantee — so
+	// plain encodings are unchanged; affidavitd inlines it on ?trace=1.
+	Trace *Trace `json:"trace,omitempty"`
 }
 
 // StatsJSON projects run statistics onto their deterministic JSON subset.

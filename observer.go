@@ -136,6 +136,11 @@ func (p *progressObserver) Observe(ev Event) {
 // counters and serves them in the text exposition format — the observer
 // behind affidavitd's /metrics endpoint. It is safe for concurrent use;
 // one instance typically watches every explanation a process runs.
+//
+// Because pipeline events deliberately carry no wall-clock values (the
+// event stream is byte-deterministic), duration metrics cannot be derived
+// from Observe alone: feed completed run traces to ObserveTrace to
+// populate the run/ingest wall-time histograms.
 type MetricsObserver struct {
 	mu              sync.Mutex
 	ingestedRecords map[string]int64 // by snapshot role
@@ -149,6 +154,33 @@ type MetricsObserver struct {
 	costSum         float64
 	spillBytes      int64
 	spillParts      int64
+	runSeconds      histogram
+	ingestSeconds   histogram
+}
+
+// histogramBounds are the cumulative bucket upper bounds (seconds) of the
+// duration histograms — sub-5ms warm hits through multi-minute cold runs.
+// numHistogramBuckets must match its length.
+var histogramBounds = [numHistogramBuckets]float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+const numHistogramBuckets = 13
+
+// histogram is a fixed-bound Prometheus histogram (guarded by the
+// observer's mutex).
+type histogram struct {
+	counts [numHistogramBuckets]int64 // cumulative per bound; +Inf is count
+	sum    float64
+	count  int64
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range histogramBounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.count++
 }
 
 // NewMetricsObserver returns an empty metrics aggregator.
@@ -156,6 +188,23 @@ func NewMetricsObserver() *MetricsObserver {
 	return &MetricsObserver{
 		ingestedRecords: make(map[string]int64),
 		runsStarted:     make(map[string]int64),
+	}
+}
+
+// ObserveTrace folds a completed run trace into the duration histograms:
+// total run wall time and the ingest share. Traces are the recorder
+// layer's out-of-band view, which is exactly why this is a separate entry
+// point from Observe — the deterministic event stream never carries time.
+// Incomplete traces (run still in flight) are ignored.
+func (m *MetricsObserver) ObserveTrace(tr *Trace) {
+	if tr == nil || !tr.Complete {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runSeconds.observe(tr.DurationMS / 1000)
+	if ing := tr.IngestDurationMS(); ing > 0 {
+		m.ingestSeconds.observe(ing / 1000)
 	}
 }
 
@@ -215,6 +264,13 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	counter := func(name, help string, v int64) {
 		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	hist := func(name, help string, h *histogram) {
+		p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, b := range histogramBounds {
+			p("%s_bucket{le=\"%g\"} %d\n", name, b, h.counts[i])
+		}
+		p("%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n", name, h.count, name, h.sum, name, h.count)
+	}
 	labelled("affidavit_ingested_records_total", "Records ingested from snapshot sources.", "snapshot", m.ingestedRecords)
 	labelled("affidavit_runs_started_total", "Explanation runs started, by start mode.", "mode", m.runsStarted)
 	counter("affidavit_runs_completed_total", "Explanation runs finished.", m.runsDone)
@@ -226,6 +282,8 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	counter("affidavit_spill_bytes_total", "Bytes written to spill files under a memory budget.", m.spillBytes)
 	counter("affidavit_spill_partitions_total", "External partitions created by out-of-core grouping and matching.", m.spillParts)
 	p("# HELP affidavit_explanation_cost_sum Sum of final explanation costs.\n# TYPE affidavit_explanation_cost_sum counter\naffidavit_explanation_cost_sum %g\n", m.costSum)
+	hist("affidavit_run_duration_seconds", "Wall-clock duration of completed explanation runs, from traces.", &m.runSeconds)
+	hist("affidavit_ingest_duration_seconds", "Wall-clock duration of the ingest phase of traced runs.", &m.ingestSeconds)
 	return err
 }
 

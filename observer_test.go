@@ -189,6 +189,47 @@ func TestMetricsObserver(t *testing.T) {
 	}
 }
 
+// TestMetricsObserverHistograms: ObserveTrace feeds the duration
+// histograms, rendered with cumulative buckets, sum and count; incomplete
+// and nil traces are ignored.
+func TestMetricsObserverHistograms(t *testing.T) {
+	m := affidavit.NewMetricsObserver()
+	m.ObserveTrace(nil)
+	m.ObserveTrace(&affidavit.Trace{DurationMS: 1000}) // not Complete: ignored
+	m.ObserveTrace(&affidavit.Trace{
+		Complete:   true,
+		DurationMS: 120, // 0.12s → first bucket le="0.25"
+		Spans: []affidavit.TraceSpan{
+			{Stage: "ingest:source", DurationMS: 30},
+			{Stage: "ingest:target", DurationMS: 10}, // 0.04s → le="0.05"
+			{Stage: "search", DurationMS: 80},
+		},
+	})
+	m.ObserveTrace(&affidavit.Trace{Complete: true, DurationMS: 90000}) // 90s → only +Inf
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE affidavit_run_duration_seconds histogram",
+		`affidavit_run_duration_seconds_bucket{le="0.1"} 0`,
+		`affidavit_run_duration_seconds_bucket{le="0.25"} 1`,
+		`affidavit_run_duration_seconds_bucket{le="60"} 1`,
+		`affidavit_run_duration_seconds_bucket{le="+Inf"} 2`,
+		"affidavit_run_duration_seconds_sum 90.12",
+		"affidavit_run_duration_seconds_count 2",
+		`affidavit_ingest_duration_seconds_bucket{le="0.025"} 0`,
+		`affidavit_ingest_duration_seconds_bucket{le="0.05"} 1`,
+		`affidavit_ingest_duration_seconds_bucket{le="+Inf"} 1`,
+		"affidavit_ingest_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 // TestObserversFanout: the composition helper forwards to every observer
 // in order, skips nils, and unwraps the single-observer case.
 func TestObserversFanout(t *testing.T) {

@@ -5,7 +5,9 @@ import (
 
 	"affidavit/internal/delta"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/obs"
 	"affidavit/internal/session"
+	"affidavit/internal/trace"
 )
 
 // Pair is one source/target snapshot pair of a batch explanation.
@@ -42,6 +44,22 @@ type Session struct {
 	inner   *session.Session
 	alpha   float64
 	workers int
+	tracing bool // from the parent Explainer's WithTracing
+}
+
+// traceRun mirrors Explainer.traceRun for session runs: when the parent
+// Explainer was built WithTracing, each single-pair run gets a fresh
+// recorder on its context (batch runs interleave pairs on one context and
+// are deliberately not traced).
+func (s *Session) traceRun(ctx context.Context) (context.Context, *trace.Recorder) {
+	if !s.tracing {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rec := trace.NewRecorder(trace.NewID())
+	return obs.ContextWithSink(ctx, rec.Observe), rec
 }
 
 // NewSession creates a session. initial, when non-nil, is the chain
@@ -70,11 +88,12 @@ func (s *Session) ExplainNext(next *Table) (*Result, error) {
 // interrupt the search cooperatively, returning the best-so-far result
 // with Stats.Cancelled set.
 func (s *Session) ExplainNextContext(ctx context.Context, next *Table) (*Result, error) {
+	ctx, rec := s.traceRun(ctx)
 	res, err := s.inner.ExplainNext(ctx, next)
 	if err != nil {
 		return nil, err
 	}
-	return s.result(res.Explanation, res.Cost, res.Stats), nil
+	return s.traced(s.result(res.Explanation, res.Cost, res.Stats), rec), nil
 }
 
 // ExplainPair explains one pair over the session's shared dictionary pool
@@ -85,11 +104,12 @@ func (s *Session) ExplainPair(source, target *Table) (*Result, error) {
 
 // ExplainPairContext is ExplainPair under ctx.
 func (s *Session) ExplainPairContext(ctx context.Context, source, target *Table) (*Result, error) {
+	ctx, rec := s.traceRun(ctx)
 	res, err := s.inner.ExplainPair(ctx, source, target)
 	if err != nil {
 		return nil, err
 	}
-	return s.result(res.Explanation, res.Cost, res.Stats), nil
+	return s.traced(s.result(res.Explanation, res.Cost, res.Stats), rec), nil
 }
 
 // ExplainWarm explains one pair over the shared pool, warm-started with the
@@ -104,11 +124,12 @@ func (s *Session) ExplainWarm(source, target *Table) (*Result, error) {
 
 // ExplainWarmContext is ExplainWarm under ctx.
 func (s *Session) ExplainWarmContext(ctx context.Context, source, target *Table) (*Result, error) {
+	ctx, rec := s.traceRun(ctx)
 	res, err := s.inner.ExplainWarm(ctx, source, target)
 	if err != nil {
 		return nil, err
 	}
-	return s.result(res.Explanation, res.Cost, res.Stats), nil
+	return s.traced(s.result(res.Explanation, res.Cost, res.Stats), rec), nil
 }
 
 // ExplainBatch explains every pair over the shared dictionary pool, fanning
@@ -150,6 +171,14 @@ func (s *Session) PoolStats() (attrs, values int) {
 
 // Runs returns how many explanations the session has produced.
 func (s *Session) Runs() int { return s.inner.Runs() }
+
+// traced attaches the recorder's finished trace, if any.
+func (s *Session) traced(res *Result, rec *trace.Recorder) *Result {
+	if rec != nil {
+		res.Trace = rec.Trace()
+	}
+	return res
+}
 
 func (s *Session) result(expl *Explanation, cost float64, stats Stats) *Result {
 	cm := delta.CostModel{Alpha: s.alpha}

@@ -1,0 +1,161 @@
+package affidavit_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"affidavit"
+	"affidavit/internal/datasets"
+	"affidavit/internal/gen"
+)
+
+// explainTraced runs one seeded explanation, optionally traced, and
+// returns the result plus the raw event stream the configured observer
+// saw.
+func explainTraced(t *testing.T, seed int64, tracing bool) (*affidavit.Result, []affidavit.Event) {
+	t.Helper()
+	rec := &recorder{}
+	opts := []affidavit.Option{
+		affidavit.WithSeed(seed),
+		affidavit.WithObserver(rec),
+	}
+	if tracing {
+		opts = append(opts, affidavit.WithTracing())
+	}
+	ex, err := affidavit.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := figure1Tables(t)
+	res, err := ex.ExplainSources(context.Background(),
+		affidavit.TableSource(src), affidavit.TableSource(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec.events
+}
+
+// TestTracingByteIdentical: turning tracing on changes nothing the
+// determinism contract covers — Result.JSON and the raw event stream are
+// byte-identical to an untraced run; only Result.Trace appears.
+func TestTracingByteIdentical(t *testing.T) {
+	plain, plainEvents := explainTraced(t, 7, false)
+	traced, tracedEvents := explainTraced(t, 7, true)
+
+	if plain.Trace != nil {
+		t.Error("untraced run carries a trace")
+	}
+	if traced.Trace == nil || !traced.Trace.Complete {
+		t.Fatalf("traced run's trace = %+v, want a complete trace", traced.Trace)
+	}
+	pj, err := plain.JSON("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := traced.JSON("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, tj) {
+		t.Error("Result.JSON differs between traced and untraced runs")
+	}
+	assertSameEvents(t, "tracing", plainEvents, tracedEvents)
+	// The trace agrees with the stream it folded.
+	if traced.Trace.Polls.Polls != traced.Stats.Polls {
+		t.Errorf("trace polls %d, stats polls %d", traced.Trace.Polls.Polls, traced.Stats.Polls)
+	}
+	if traced.Trace.Cost != traced.Cost {
+		t.Errorf("trace cost %v, result cost %v", traced.Trace.Cost, traced.Cost)
+	}
+}
+
+// TestTracingConcurrentRuns: two explanations interleaving on one traced
+// Explainer produce two complete traces that never cross — each run's
+// recorder rides its own context, so concurrent event streams cannot
+// bleed into each other's trace. Run under -race this also proves the
+// recorder path is race-clean.
+func TestTracingConcurrentRuns(t *testing.T) {
+	ex, err := affidavit.New(affidavit.WithSeed(3), affidavit.WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := datasets.Get("bridges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ds.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two different problem instances, so the two runs have different
+	// poll counts — crossed traces would disagree with their results.
+	mkPair := func(seed int64) (*affidavit.Table, *affidavit.Table) {
+		p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Inst.Source, p.Inst.Target
+	}
+	results := make([]*affidavit.Result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, tgt := mkPair(int64(11 + i))
+			res, err := ex.ExplainSources(context.Background(),
+				affidavit.TableSource(src), affidavit.TableSource(tgt))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("a run failed")
+		}
+		tr := res.Trace
+		if tr == nil || !tr.Complete {
+			t.Fatalf("run %d: trace = %+v, want complete", i, tr)
+		}
+		// Each trace must describe exactly its own run.
+		if tr.Polls.Polls != res.Stats.Polls {
+			t.Errorf("run %d: trace polls %d, stats polls %d — traces crossed",
+				i, tr.Polls.Polls, res.Stats.Polls)
+		}
+		if tr.Cost != res.Cost {
+			t.Errorf("run %d: trace cost %v, result cost %v", i, tr.Cost, res.Cost)
+		}
+		for _, stage := range []string{"ingest:source", "ingest:target", "search"} {
+			if tr.SpanFor(stage) == nil {
+				t.Errorf("run %d: trace missing span %q", i, stage)
+			}
+		}
+	}
+	if results[0].Trace.ID == results[1].Trace.ID {
+		t.Error("both runs share one trace ID")
+	}
+}
+
+// TestWithObserverNil: a nil observer is a no-op, not a panic — callers
+// can pass conditionally-built observers straight through.
+func TestWithObserverNil(t *testing.T) {
+	ex, err := affidavit.New(affidavit.WithSeed(1), affidavit.WithObserver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, tgt := figure1Tables(t)
+	res, err := ex.ExplainSources(context.Background(),
+		affidavit.TableSource(src), affidavit.TableSource(tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost %v, want a real explanation", res.Cost)
+	}
+}
