@@ -10,6 +10,17 @@
 // GOMAXPROCS suffix stripped, carrying ns/op and — when -benchmem was set —
 // B/op and allocs/op. Keys marshal sorted, so diffs between two artifacts
 // are line-aligned.
+//
+// Sweep dimensions fold into one artifact via -suffix and -merge: a CI loop
+// that reruns the suite under several GOMAXPROCS values converts each pass
+// with -suffix "/gomaxprocs=N" (appended to every key) and -merge pointing
+// at the artifact built so far, so BENCH_8.json carries every sweep row
+// side by side:
+//
+//	for p in 1 2 4; do
+//	    GOMAXPROCS=$p go test -bench ... | \
+//	        benchjson -suffix "/gomaxprocs=$p" -merge BENCH_8.json -out BENCH_8.json
+//	done
 package main
 
 import (
@@ -97,6 +108,8 @@ func parse(r io.Reader) (*Doc, error) {
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON artifact path (default: stdout)")
+	suffix := flag.String("suffix", "", "append to every benchmark key (e.g. /gomaxprocs=2)")
+	merge := flag.String("merge", "", "existing artifact to merge into (missing file = start fresh)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -113,6 +126,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *suffix != "" {
+		suffixed := make(map[string]Result, len(doc.Benchmarks))
+		for k, v := range doc.Benchmarks {
+			suffixed[k+*suffix] = v
+		}
+		doc.Benchmarks = suffixed
+	}
+	if *merge != "" {
+		prev, err := os.ReadFile(*merge)
+		switch {
+		case err == nil:
+			var base Doc
+			if err := json.Unmarshal(prev, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad merge base %s: %v\n", *merge, err)
+				os.Exit(1)
+			}
+			for k, v := range doc.Benchmarks {
+				if base.Benchmarks == nil {
+					base.Benchmarks = map[string]Result{}
+				}
+				base.Benchmarks[k] = v
+			}
+			// The newest pass wins the environment header fields too.
+			base.GOOS, base.GOARCH, base.Package, base.CPU = doc.GOOS, doc.GOARCH, doc.Package, doc.CPU
+			doc = &base
+		case os.IsNotExist(err):
+			// No artifact yet: this pass starts it.
+		default:
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

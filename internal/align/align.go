@@ -23,23 +23,37 @@ type Pair struct {
 // each block, min(|ϕS|, |ϕT|) pairs are drawn uniformly without
 // replacement.
 func Random(r *blocking.Result, rng *rand.Rand) []Pair {
-	var pairs []Pair
-	for _, b := range r.Blocks() {
-		if !b.Mixed() {
-			continue
-		}
+	var sc Scratch
+	return sc.Random(r, rng)
+}
+
+// Scratch holds the shuffle buffers and pair list one caller reuses across
+// Random samples. A Scratch belongs to a single goroutine; the returned
+// alignment aliases it and is valid until the next Random call on it.
+type Scratch struct {
+	pairs    []Pair
+	src, tgt []int32
+}
+
+// Random is the buffer-reusing form of the package-level Random; it draws
+// from rng in exactly the same sequence.
+func (sc *Scratch) Random(r *blocking.Result, rng *rand.Rand) []Pair {
+	pairs := sc.pairs[:0]
+	for _, b := range r.MixedBlocks() {
 		n := len(b.Src)
 		if len(b.Tgt) < n {
 			n = len(b.Tgt)
 		}
-		src := append([]int32(nil), b.Src...)
-		tgt := append([]int32(nil), b.Tgt...)
+		src := append(sc.src[:0], b.Src...)
+		tgt := append(sc.tgt[:0], b.Tgt...)
 		rng.Shuffle(len(src), func(i, j int) { src[i], src[j] = src[j], src[i] })
 		rng.Shuffle(len(tgt), func(i, j int) { tgt[i], tgt[j] = tgt[j], tgt[i] })
 		for i := 0; i < n; i++ {
 			pairs = append(pairs, Pair{S: src[i], T: tgt[i]})
 		}
+		sc.src, sc.tgt = src, tgt // keep grown capacity for the next block
 	}
+	sc.pairs = pairs
 	return pairs
 }
 

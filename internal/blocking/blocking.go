@@ -106,6 +106,12 @@ func buildMemo(co *delta.Coded, attr int, f metafunc.Func) applyMemo {
 
 // Result is Φ_H plus the record→block maps needed for refinement and for
 // locating the block of a sampled record.
+//
+// Results are refined lazily: Refine runs only a counting pass — enough to
+// compute the surpluses that cost a search state — and defers building the
+// block lists and record→block maps until an accessor actually needs them
+// (force). The search discards the vast majority of candidate refinements
+// on cost alone, so most Results never materialise.
 type Result struct {
 	inst       *delta.Instance
 	coded      *delta.Coded
@@ -113,10 +119,22 @@ type Result struct {
 	blocks     []*Block
 	srcBlockOf []int32
 	tgtBlockOf []int32
+	mixed      []*Block        // blocks with records on both sides (cached)
+	tSur, sSur int             // c_t(H), c_s(H), computed at Refine time
 	workers    int             // ≤ 1 = fully sequential refinement
 	ctx        context.Context // nil = never cancelled
 	spillM     *spill.Manager  // nil/inactive = always group in memory
 	spillSt    *spill.Stats    // spill accounting sink (may be nil)
+	lazy       *lazyRefine     // pending materialisation; nil once forced
+}
+
+// lazyRefine holds a deferred refinement. It lives behind a pointer so
+// Result copies (WithWorkers and friends) share the once.
+type lazyRefine struct {
+	once   sync.Once
+	parent *Result
+	attr   int
+	fn     metafunc.Func
 }
 
 // New returns the blocking result of the all-undecided state: a single
@@ -139,6 +157,14 @@ func New(inst *delta.Instance) *Result {
 		srcBlockOf: make([]int32, inst.Source.Len()),
 		tgtBlockOf: make([]int32, inst.Target.Len()),
 	}
+	if d := len(b.Tgt) - len(b.Src); d > 0 {
+		r.tSur = d
+	} else {
+		r.sSur = -d
+	}
+	if b.Mixed() {
+		r.mixed = r.blocks
+	}
 	return r
 }
 
@@ -150,6 +176,7 @@ func (r *Result) WithWorkers(n int) *Result {
 	if n <= 1 || n == r.workers {
 		return r
 	}
+	r.force() // copies must not share a pending materialisation
 	nr := *r
 	nr.workers = n
 	return &nr
@@ -166,6 +193,7 @@ func (r *Result) WithContext(ctx context.Context) *Result {
 	if ctx == nil {
 		return r
 	}
+	r.force()
 	nr := *r
 	nr.ctx = ctx
 	return &nr
@@ -188,6 +216,7 @@ func (r *Result) WithSpill(m *spill.Manager, st *spill.Stats) *Result {
 	if !m.Active() {
 		return r
 	}
+	r.force()
 	nr := *r
 	nr.spillM = m
 	nr.spillSt = st
@@ -207,6 +236,12 @@ const parallelBlockMin = 1 << 14
 // Refine is safe to call concurrently on the same receiver; the resulting
 // blocks are ordered deterministically (parent-block order, then first
 // appearance in record order) regardless of WithWorkers.
+//
+// Without an active spill manager the returned result is lazy: only the
+// counting pass has run (enough for TargetSurplus and SourceSurplus), and
+// the block lists materialise on first access. Under a spill manager the
+// full refinement runs eagerly so the grouping honours — and is accounted
+// against — the memory budget at the moment the search creates the state.
 func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 	if r.ctx != nil && r.ctx.Err() != nil {
 		// Cancelled: skip the grouping pass entirely. The receiver is a
@@ -214,19 +249,90 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 		// state built from it.
 		return r
 	}
-	nSrc, nTgt := len(r.srcBlockOf), len(r.tgtBlockOf)
-
-	// Pass 1: group every record by (parent block, split code), recording
-	// its sub-block index. Sub-blocks are numbered in parent order, then
-	// first appearance, so the block order is deterministic.
-	g := &grouper{
-		memo:       r.cache.memo(r.coded, attr, f),
-		srcCodes:   r.coded.Src[attr],
-		tgtCodes:   r.coded.Tgt[attr],
-		srcBlockOf: make([]int32, nSrc),
-		tgtBlockOf: make([]int32, nTgt),
-		sub:        make(map[int32]int32),
+	r.force()
+	if r.spillM != nil {
+		return r.refineEager(attr, f)
 	}
+	nr := &Result{
+		inst:    r.inst,
+		coded:   r.coded,
+		cache:   r.cache,
+		workers: r.workers,
+		ctx:     r.ctx,
+		lazy:    &lazyRefine{parent: r, attr: attr, fn: f},
+	}
+	nr.tSur, nr.sSur = r.countRefine(attr, f)
+	return nr
+}
+
+// countRefine runs the counting-only half of a refinement: per parent
+// block, count source and target records per split code and accumulate the
+// block surpluses. It allocates nothing beyond pooled scratch.
+func (r *Result) countRefine(attr int, f metafunc.Func) (tSur, sSur int) {
+	memo := r.cache.memo(r.coded, attr, f)
+	srcCodes, tgtCodes := r.coded.Src[attr], r.coded.Tgt[attr]
+	sc := countPool.Get().(*countScratch)
+	for _, b := range r.blocks {
+		sc.tab.reset()
+		cntS, cntT := sc.cntS[:0], sc.cntT[:0]
+		for _, s := range b.Src {
+			idx, ok := sc.tab.getOrInsert(memo[srcCodes[s]], int32(len(cntS)))
+			if !ok {
+				cntS = append(cntS, 0)
+				cntT = append(cntT, 0)
+			}
+			cntS[idx]++
+		}
+		for _, t := range b.Tgt {
+			idx, ok := sc.tab.getOrInsert(tgtCodes[t], int32(len(cntS)))
+			if !ok {
+				cntS = append(cntS, 0)
+				cntT = append(cntT, 0)
+			}
+			cntT[idx]++
+		}
+		for i := range cntS {
+			if d := int(cntT[i] - cntS[i]); d > 0 {
+				tSur += d
+			} else {
+				sSur -= d
+			}
+		}
+		sc.cntS, sc.cntT = cntS, cntT
+	}
+	countPool.Put(sc)
+	return tSur, sSur
+}
+
+// force materialises a lazily refined result: the full grouping pass plus
+// the block-list build. Safe for concurrent callers; no-op once done.
+func (r *Result) force() {
+	l := r.lazy
+	if l == nil {
+		return
+	}
+	l.once.Do(func() {
+		p := l.parent
+		g := p.newGrouper(l.attr, l.fn)
+		distinct := p.coded.Dicts[l.attr].Len()
+		for _, b := range p.blocks {
+			n := len(b.Src) + len(b.Tgt)
+			if p.workers > 1 && n >= parallelBlockMin && distinct*8 <= n {
+				g.groupParallel(b, p.workers)
+			} else {
+				g.group(b)
+			}
+		}
+		r.finishRefine(p, g)
+		// r.lazy stays set: concurrent force callers synchronise on the
+		// once, and accessors never read the materialised fields directly.
+	})
+}
+
+// refineEager runs the full refinement immediately, routing oversized
+// blocks through external grouping when the spill budget demands it.
+func (r *Result) refineEager(attr int, f metafunc.Func) *Result {
+	g := r.newGrouper(attr, f)
 	// Partitioning pays off only for low-cardinality splits: the merge
 	// touches every distinct (chunk, split code) pair sequentially, so when
 	// nearly every record carries a distinct code (key-like attributes) the
@@ -235,7 +341,7 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 	distinct := r.coded.Dicts[attr].Len()
 	for _, b := range r.blocks {
 		n := len(b.Src) + len(b.Tgt)
-		// est bounds the block's group-map memory: one map entry (~48
+		// est bounds the block's group-table memory: one entry (~48
 		// bytes) per distinct split code, itself bounded by both the block
 		// size and the attribute's dictionary.
 		est := int64(distinct)
@@ -256,9 +362,42 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 			g.group(b)
 		}
 	}
+	nr := &Result{
+		inst:    r.inst,
+		coded:   r.coded,
+		cache:   r.cache,
+		workers: r.workers,
+		ctx:     r.ctx,
+		spillM:  r.spillM,
+		spillSt: r.spillSt,
+	}
+	nr.finishRefine(r, g)
+	for i := range g.cntS {
+		if d := int(g.cntT[i] - g.cntS[i]); d > 0 {
+			nr.tSur += d
+		} else {
+			nr.sSur -= d
+		}
+	}
+	return nr
+}
 
-	// Pass 2: carve exactly-sized record slices out of two shared backing
-	// arrays and fill them in the parent iteration order.
+// newGrouper prepares the grouping pass over the receiver's blocks.
+func (r *Result) newGrouper(attr int, f metafunc.Func) *grouper {
+	return &grouper{
+		memo:       r.cache.memo(r.coded, attr, f),
+		srcCodes:   r.coded.Src[attr],
+		tgtCodes:   r.coded.Tgt[attr],
+		srcBlockOf: make([]int32, len(r.srcBlockOf)),
+		tgtBlockOf: make([]int32, len(r.tgtBlockOf)),
+	}
+}
+
+// finishRefine is pass 2 of a refinement: carve exactly-sized record
+// slices out of two shared backing arrays and fill them in the parent
+// iteration order, then cache the mixed-block list.
+func (r *Result) finishRefine(p *Result, g *grouper) {
+	nSrc, nTgt := len(p.srcBlockOf), len(p.tgtBlockOf)
 	arena := make([]Block, len(g.codes))
 	blocks := make([]*Block, len(g.codes))
 	srcStore := make([]int32, 0, nSrc)
@@ -272,7 +411,7 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 		arena[i].Tgt = tgtStore[off:off:len(tgtStore)]
 		blocks[i] = &arena[i]
 	}
-	for _, b := range r.blocks {
+	for _, b := range p.blocks {
 		for _, s := range b.Src {
 			nb := blocks[g.srcBlockOf[s]]
 			nb.Src = append(nb.Src, s)
@@ -282,18 +421,16 @@ func (r *Result) Refine(attr int, f metafunc.Func) *Result {
 			nb.Tgt = append(nb.Tgt, t)
 		}
 	}
-	return &Result{
-		inst:       r.inst,
-		coded:      r.coded,
-		cache:      r.cache,
-		blocks:     blocks,
-		srcBlockOf: g.srcBlockOf,
-		tgtBlockOf: g.tgtBlockOf,
-		workers:    r.workers,
-		ctx:        r.ctx,
-		spillM:     r.spillM,
-		spillSt:    r.spillSt,
+	r.blocks = blocks
+	r.srcBlockOf = g.srcBlockOf
+	r.tgtBlockOf = g.tgtBlockOf
+	mixed := make([]*Block, 0, len(blocks)/2)
+	for _, b := range blocks {
+		if b.Mixed() {
+			mixed = append(mixed, b)
+		}
 	}
+	r.mixed = mixed
 }
 
 // grouper carries the state of Refine's grouping pass: the global sub-block
@@ -305,16 +442,14 @@ type grouper struct {
 	tgtBlockOf         []int32
 	codes              []int32 // split code per sub-block
 	cntS, cntT         []int32
-	sub                map[int32]int32 // split code → sub-block index, per parent
+	sub                codeTable // split code → sub-block index, per parent
 }
 
 // get returns the sub-block index of split code c within the current
 // parent, assigning the next global index on first sight.
 func (g *grouper) get(c int32) int32 {
-	idx, ok := g.sub[c]
-	if !ok {
-		idx = int32(len(g.codes))
-		g.sub[c] = idx
+	idx, found := g.sub.getOrInsert(c, int32(len(g.codes)))
+	if !found {
 		g.codes = append(g.codes, c)
 		g.cntS = append(g.cntS, 0)
 		g.cntT = append(g.cntT, 0)
@@ -324,7 +459,7 @@ func (g *grouper) get(c int32) int32 {
 
 // group splits one parent block sequentially.
 func (g *grouper) group(b *Block) {
-	clear(g.sub)
+	g.sub.reset()
 	for _, s := range b.Src {
 		idx := g.get(g.memo[g.srcCodes[s]])
 		g.cntS[idx]++
@@ -411,12 +546,10 @@ func (g *grouper) groupParallel(b *Block, workers int) {
 
 	// Phase 1: chunk-local grouping.
 	runChunks(func(ck *refineChunk) {
-		local := make(map[int32]int32)
+		var local codeTable
 		get := func(c int32) int32 {
-			idx, ok := local[c]
-			if !ok {
-				idx = int32(len(ck.order))
-				local[c] = idx
+			idx, found := local.getOrInsert(c, int32(len(ck.order)))
+			if !found {
 				ck.order = append(ck.order, c)
 				ck.cntS = append(ck.cntS, 0)
 				ck.cntT = append(ck.cntT, 0)
@@ -436,7 +569,7 @@ func (g *grouper) groupParallel(b *Block, workers int) {
 	})
 
 	// Phase 2: deterministic merge in chunk order.
-	clear(g.sub)
+	g.sub.reset()
 	for _, ck := range chunks {
 		ck.remap = make([]int32, len(ck.order))
 		for li, c := range ck.order {
@@ -465,56 +598,50 @@ func (r *Result) Instance() *delta.Instance { return r.inst }
 func (r *Result) Coded() *delta.Coded { return r.coded }
 
 // Blocks returns all blocks; callers must not mutate them.
-func (r *Result) Blocks() []*Block { return r.blocks }
+func (r *Result) Blocks() []*Block {
+	r.force()
+	return r.blocks
+}
 
 // NumBlocks returns |Ξ_H|.
-func (r *Result) NumBlocks() int { return len(r.blocks) }
+func (r *Result) NumBlocks() int {
+	r.force()
+	return len(r.blocks)
+}
 
-// MixedBlocks returns the blocks containing both source and target records.
+// MixedBlocks returns the blocks containing both source and target records;
+// callers must not mutate the shared slice.
 func (r *Result) MixedBlocks() []*Block {
-	var out []*Block
-	for _, b := range r.blocks {
-		if b.Mixed() {
-			out = append(out, b)
-		}
-	}
-	return out
+	r.force()
+	return r.mixed
 }
 
 // BlockOfSource returns the block containing source record s.
-func (r *Result) BlockOfSource(s int) *Block { return r.blocks[r.srcBlockOf[s]] }
+func (r *Result) BlockOfSource(s int) *Block {
+	r.force()
+	return r.blocks[r.srcBlockOf[s]]
+}
 
 // BlockOfTarget returns the block containing target record t.
-func (r *Result) BlockOfTarget(t int) *Block { return r.blocks[r.tgtBlockOf[t]] }
-
-// TargetSurplus computes c_t(H) = Σ_{|ϕT(κ)| > |ϕS(κ)|} |ϕT(κ)| − |ϕS(κ)|,
-// the lower bound on |T^{E+}| (Section 4.5).
-func (r *Result) TargetSurplus() int {
-	sum := 0
-	for _, b := range r.blocks {
-		if d := len(b.Tgt) - len(b.Src); d > 0 {
-			sum += d
-		}
-	}
-	return sum
+func (r *Result) BlockOfTarget(t int) *Block {
+	r.force()
+	return r.blocks[r.tgtBlockOf[t]]
 }
 
-// SourceSurplus computes c_s(H), the lower bound on |S^{E−}|.
-func (r *Result) SourceSurplus() int {
-	sum := 0
-	for _, b := range r.blocks {
-		if d := len(b.Src) - len(b.Tgt); d > 0 {
-			sum += d
-		}
-	}
-	return sum
-}
+// TargetSurplus returns c_t(H) = Σ_{|ϕT(κ)| > |ϕS(κ)|} |ϕT(κ)| − |ϕS(κ)|,
+// the lower bound on |T^{E+}| (Section 4.5). Computed during the counting
+// pass, so it never forces materialisation.
+func (r *Result) TargetSurplus() int { return r.tSur }
+
+// SourceSurplus returns c_s(H), the lower bound on |S^{E−}|.
+func (r *Result) SourceSurplus() int { return r.sSur }
 
 // Indeterminacy estimates how undetermined attribute attr still is: the
 // maximum number of distinct source values of attr over all mixed blocks —
 // an upper bound for the number of source values that must be considered as
 // the origin of a target value (Section 4.3 "Extending Search States").
 func (r *Result) Indeterminacy(attr int) int {
+	r.force()
 	max := 0
 	srcCodes := r.coded.Src[attr]
 	// Raw source codes are dense in [0, Base[attr]), so distinct counting

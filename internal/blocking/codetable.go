@@ -1,0 +1,93 @@
+package blocking
+
+import "sync"
+
+// codeTable is an open-addressing map from non-negative int32 split codes
+// to int32 sub-block indices, replacing map[int32]int32 in the refinement
+// hot path. Keys are stored as code+1 so the zero value marks an empty slot
+// and a full reset is a memclr; inserted slot positions are additionally
+// tracked so resetting a sparsely used table touches only the dirty slots
+// instead of the whole backing array (many tiny parent blocks late in a
+// search would otherwise pay a full clear each).
+type codeTable struct {
+	keys    []int32 // code+1; 0 = empty
+	vals    []int32
+	touched []uint32 // slot positions of live entries
+	mask    uint32
+	n       int
+}
+
+// getOrInsert returns the value stored for code c; on first sight it stores
+// val and returns it. found reports whether c was already present.
+func (t *codeTable) getOrInsert(c, val int32) (idx int32, found bool) {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	k := c + 1
+	i := (uint32(c) * 0x9E3779B9) & t.mask
+	for {
+		switch t.keys[i] {
+		case 0:
+			t.keys[i] = k
+			t.vals[i] = val
+			t.touched = append(t.touched, i)
+			t.n++
+			return val, false
+		case k:
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table (min 16 slots) and rehashes live entries.
+func (t *codeTable) grow() {
+	size := 2 * len(t.keys)
+	if size < 16 {
+		size = 16
+	}
+	keys := make([]int32, size)
+	vals := make([]int32, size)
+	touched := t.touched[:0]
+	if cap(touched) < t.n {
+		touched = make([]uint32, 0, size)
+	}
+	mask := uint32(size - 1)
+	for _, i := range t.touched {
+		k := t.keys[i]
+		j := (uint32(k-1) * 0x9E3779B9) & mask
+		for keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		keys[j] = k
+		vals[j] = t.vals[i]
+		touched = append(touched, j)
+	}
+	t.keys, t.vals, t.touched, t.mask = keys, vals, touched, mask
+}
+
+// reset empties the table, keeping its capacity.
+func (t *codeTable) reset() {
+	if 4*len(t.touched) < len(t.keys) {
+		for _, i := range t.touched {
+			t.keys[i] = 0
+		}
+	} else {
+		clear(t.keys)
+	}
+	t.touched = t.touched[:0]
+	t.n = 0
+}
+
+// countScratch is the pooled working set of a counting-only refinement
+// pass: the per-parent split table and the per-sub-block record counts.
+// Instances are handed out by countPool and must be reset per parent block
+// (reset happens at acquisition points); nothing in a scratch may outlive
+// the countRefine call that borrowed it.
+type countScratch struct {
+	tab  codeTable
+	cntS []int32
+	cntT []int32
+}
+
+var countPool = sync.Pool{New: func() any { return new(countScratch) }}

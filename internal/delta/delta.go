@@ -325,23 +325,6 @@ func buildMemos(ctx context.Context, co *Coded, funcs FuncTuple, workers int) ([
 	return memos, nil
 }
 
-// packKey writes d little-endian int32 codes into buf and returns them as a
-// string key; false when any code is negative (an image outside the
-// snapshot value set, which can never match).
-func packKey(buf []byte, d int, code func(a int) int32) (string, bool) {
-	for a := 0; a < d; a++ {
-		c := code(a)
-		if c < 0 {
-			return "", false
-		}
-		buf[4*a] = byte(c)
-		buf[4*a+1] = byte(c >> 8)
-		buf[4*a+2] = byte(c >> 16)
-		buf[4*a+3] = byte(c >> 24)
-	}
-	return string(buf), true
-}
-
 // imageCode returns source record s's image code of attribute a under the
 // memo table (raw code when the attribute is identity).
 func imageCode(co *Coded, memos [][]int32, a int, s int) int32 {
@@ -361,17 +344,16 @@ const buildCancelMask = 8192 - 1
 // deleted.
 func matchSequential(ctx context.Context, inst *Instance, co *Coded, memos [][]int32) ([]int32, error) {
 	d := inst.NumAttrs()
-	buf := make([]byte, 4*d)
-	// Multiset index of unclaimed target records.
-	free := make(map[string][]int32, inst.Target.Len())
-	for t := 0; t < inst.Target.Len(); t++ {
+	nTgt := inst.Target.Len()
+	// Multiset index of unclaimed target records; positions are the records.
+	free := newTupleIndex(co, d, nil, nTgt)
+	for t := 0; t < nTgt; t++ {
 		if t&buildCancelMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		k, _ := packKey(buf, d, func(a int) int32 { return co.Tgt[a][t] })
-		free[k] = append(free[k], int32(t))
+		free.insert(int32(t), free.hashTgt(int32(t)))
 	}
 	matchOf := make([]int32, inst.Source.Len())
 	for s := 0; s < inst.Source.Len(); s++ {
@@ -381,10 +363,8 @@ func matchSequential(ctx context.Context, inst *Instance, co *Coded, memos [][]i
 			}
 		}
 		matchOf[s] = -1
-		k, ok := packKey(buf, d, func(a int) int32 { return imageCode(co, memos, a, s) })
-		if q := free[k]; ok && len(q) > 0 {
-			matchOf[s] = q[0]
-			free[k] = q[1:]
+		if h, ok := free.hashImg(memos, s); ok {
+			matchOf[s] = free.take(memos, s, h)
 		}
 	}
 	return matchOf, nil
@@ -442,25 +422,40 @@ func (e *Explanation) Validate() error {
 		return fmt.Errorf("delta: core image+inserted = %d, |T| = %d",
 			len(e.CoreTgt)+len(e.Inserted), e.Inst.Target.Len())
 	}
-	seenS := make(map[int]bool, e.Inst.Source.Len())
-	for _, s := range append(append([]int(nil), e.CoreSrc...), e.Deleted...) {
-		if seenS[s] {
-			return fmt.Errorf("delta: source record %d appears twice", s)
+	seenS := make([]bool, e.Inst.Source.Len())
+	for _, part := range [][]int{e.CoreSrc, e.Deleted} {
+		for _, s := range part {
+			if seenS[s] {
+				return fmt.Errorf("delta: source record %d appears twice", s)
+			}
+			seenS[s] = true
 		}
-		seenS[s] = true
 	}
-	seenT := make(map[int]bool, e.Inst.Target.Len())
-	for _, t := range append(append([]int(nil), e.CoreTgt...), e.Inserted...) {
-		if seenT[t] {
-			return fmt.Errorf("delta: target record %d appears twice", t)
+	seenT := make([]bool, e.Inst.Target.Len())
+	for _, part := range [][]int{e.CoreTgt, e.Inserted} {
+		for _, t := range part {
+			if seenT[t] {
+				return fmt.Errorf("delta: target record %d appears twice", t)
+			}
+			seenT[t] = true
 		}
-		seenT[t] = true
+	}
+	// Core image check on the interned columns: code equality is string
+	// equality (both sides intern into the same dictionaries), and an image
+	// missing from a dictionary cannot equal any target value. Each function
+	// is applied once per distinct source value instead of once per record.
+	co := e.Inst.Coded()
+	memos, err := buildMemos(context.Background(), co, e.Funcs, 1)
+	if err != nil {
+		return err
 	}
 	for i, s := range e.CoreSrc {
-		img := e.Funcs.Apply(e.Inst.Source.Record(s))
-		if !img.Equal(e.Inst.Target.Record(e.CoreTgt[i])) {
-			return fmt.Errorf("delta: F(source %d) = %v ≠ target %d = %v",
-				s, img, e.CoreTgt[i], e.Inst.Target.Record(e.CoreTgt[i]))
+		for a := 0; a < e.Inst.NumAttrs(); a++ {
+			if imageCode(co, memos, a, s) != co.Tgt[a][e.CoreTgt[i]] {
+				img := e.Funcs.Apply(e.Inst.Source.Record(s))
+				return fmt.Errorf("delta: F(source %d) = %v ≠ target %d = %v",
+					s, img, e.CoreTgt[i], e.Inst.Target.Record(e.CoreTgt[i]))
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,135 @@
+package delta
+
+// tupleIndex is the open-addressing multiset index behind the greedy
+// matching: target records keyed by their code tuples, each bucket an
+// arrival-ordered list of the targets sharing one tuple. It replaces the
+// map[string][]int32 of packed-key strings — keys stay as the int32 code
+// columns they already are, bucket membership is verified by comparing a
+// bucket representative's codes elementwise, and list links live in one
+// flat next array, so indexing a snapshot allocates four flat arrays
+// instead of one string key plus map and slice overhead per distinct tuple.
+type tupleIndex struct {
+	co     *Coded
+	d      int
+	bucket []int32 // position → target record; nil = identity (position IS the record)
+	rep    []int32 // slot → position of the bucket's representative; -1 = empty slot
+	head   []int32 // slot → position of the first unclaimed target; -1 = exhausted
+	tail   []int32
+	next   []int32 // position → next position with an equal tuple; -1 = end
+	mask   uint32
+}
+
+// newTupleIndex sizes the index for n targets; bucket maps positions to
+// target records (nil when positions are the records themselves).
+func newTupleIndex(co *Coded, d int, bucket []int32, n int) *tupleIndex {
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	m := &tupleIndex{
+		co:     co,
+		d:      d,
+		bucket: bucket,
+		rep:    make([]int32, size),
+		head:   make([]int32, size),
+		tail:   make([]int32, size),
+		next:   make([]int32, n),
+		mask:   uint32(size - 1),
+	}
+	for i := range m.rep {
+		m.rep[i] = -1
+	}
+	return m
+}
+
+func (m *tupleIndex) rec(pos int32) int32 {
+	if m.bucket == nil {
+		return pos
+	}
+	return m.bucket[pos]
+}
+
+// hashTgt hashes target record t's code tuple (fnv1a over the codes, the
+// same mixing the shard router uses).
+func (m *tupleIndex) hashTgt(t int32) uint64 {
+	h := uint64(fnvOffset64)
+	for a := 0; a < m.d; a++ {
+		h = (h ^ uint64(uint32(m.co.Tgt[a][t]))) * fnvPrime64
+	}
+	return h
+}
+
+// hashImg hashes source record s's image tuple; ok is false when any image
+// code leaves the snapshot value set (such a source can never match).
+func (m *tupleIndex) hashImg(memos [][]int32, s int) (uint64, bool) {
+	h := uint64(fnvOffset64)
+	for a := 0; a < m.d; a++ {
+		c := imageCode(m.co, memos, a, s)
+		if c < 0 {
+			return 0, false
+		}
+		h = (h ^ uint64(uint32(c))) * fnvPrime64
+	}
+	return h, true
+}
+
+func (m *tupleIndex) equalTgt(t1, t2 int32) bool {
+	for a := 0; a < m.d; a++ {
+		if m.co.Tgt[a][t1] != m.co.Tgt[a][t2] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *tupleIndex) equalImg(t int32, memos [][]int32, s int) bool {
+	for a := 0; a < m.d; a++ {
+		if m.co.Tgt[a][t] != imageCode(m.co, memos, a, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// insert appends position pos to its tuple's bucket. h must be hashTgt of
+// the position's record (precomputed hashes from the shard router are fine:
+// the mixing is identical).
+func (m *tupleIndex) insert(pos int32, h uint64) {
+	t := m.rec(pos)
+	m.next[pos] = -1
+	i := uint32(h) & m.mask
+	for {
+		r := m.rep[i]
+		if r < 0 {
+			m.rep[i], m.head[i], m.tail[i] = pos, pos, pos
+			return
+		}
+		if m.equalTgt(m.rec(r), t) {
+			m.next[m.tail[i]] = pos
+			m.tail[i] = pos
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// take claims and returns the earliest unclaimed target whose tuple equals
+// source s's image tuple under memos, or -1. h must be s's image hash.
+func (m *tupleIndex) take(memos [][]int32, s int, h uint64) int32 {
+	i := uint32(h) & m.mask
+	for {
+		r := m.rep[i]
+		if r < 0 {
+			return -1
+		}
+		if m.equalImg(m.rec(r), memos, s) {
+			hd := m.head[i]
+			if hd < 0 {
+				return -1
+			}
+			m.head[i] = m.next[hd]
+			return m.rec(hd)
+		}
+		i = (i + 1) & m.mask
+	}
+}

@@ -144,32 +144,29 @@ func matchSharded(ctx context.Context, inst *Instance, co *Coded, memos [][]int3
 	}
 
 	// Phase 3: per-shard greedy matching over the buckets. matchOf starts
-	// all-deleted; shards fill in their own sources' claims.
+	// all-deleted; shards fill in their own sources' claims. The tuple
+	// hashes from phase 1 are reused for the per-shard indexes — the index
+	// uses the same fnv1a mixing as the shard router.
 	var wg sync.WaitGroup
 	for shard := 0; shard < shards; shard++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			buf := make([]byte, 4*d)
-			free := make(map[string][]int32)
-			for i, t := range tgtByShard[shard] {
+			bucket := tgtByShard[shard]
+			free := newTupleIndex(co, d, bucket, len(bucket))
+			for i, t := range bucket {
 				if i&buildCancelMask == 0 && ctx.Err() != nil {
 					cancelled.Store(true)
 					return
 				}
-				k, _ := packKey(buf, d, func(a int) int32 { return co.Tgt[a][t] })
-				free[k] = append(free[k], t)
+				free.insert(int32(i), tgtHash[t])
 			}
 			for i, s := range srcByShard[shard] {
 				if i&buildCancelMask == 0 && ctx.Err() != nil {
 					cancelled.Store(true)
 					return
 				}
-				k, _ := packKey(buf, d, func(a int) int32 { return imageCode(co, memos, a, int(s)) })
-				if q := free[k]; len(q) > 0 {
-					matchOf[s] = q[0]
-					free[k] = q[1:]
-				}
+				matchOf[s] = free.take(memos, int(s), srcHash[s])
 			}
 		}(shard)
 	}

@@ -209,13 +209,20 @@ func Candidates(r *blocking.Result, attr int, metas []metafunc.Meta, cfg Config,
 		out := dict.Value(tgtCodes[tr.rec])
 		perTarget := make(map[string]bool)
 		var list []induced
+		// Metas are applied directly instead of through metafunc.InduceAll:
+		// no meta family emits duplicate keys on one example (each family
+		// uses a distinct key prefix and returns at most one function per
+		// margin), so the per-target dedup below subsumes InduceAll's
+		// per-example dedup and each candidate is keyed exactly once.
 		for _, c := range srcVals[tr.block] {
 			in := dict.Value(c)
-			for _, f := range metafunc.InduceAll(metas, in, out) {
-				key := f.Key()
-				if !perTarget[key] {
-					perTarget[key] = true
-					list = append(list, induced{key: key, f: f})
+			for _, m := range metas {
+				for _, f := range m.Induce(in, out) {
+					key := f.Key()
+					if !perTarget[key] {
+						perTarget[key] = true
+						list = append(list, induced{key: key, f: f})
+					}
 				}
 			}
 		}

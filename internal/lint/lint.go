@@ -106,6 +106,7 @@ func Suite() []*Analyzer {
 		CtxFlow,
 		ObsEvent,
 		AtomicStats,
+		ScratchReuse,
 	}
 }
 

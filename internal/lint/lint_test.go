@@ -37,6 +37,10 @@ func TestAtomicStats(t *testing.T) {
 	linttest.Run(t, "testdata", "counters", lint.AtomicStats)
 }
 
+func TestScratchReuse(t *testing.T) {
+	linttest.Run(t, "testdata", "scratch", lint.ScratchReuse)
+}
+
 func TestSuiteComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.Suite() {
@@ -48,7 +52,7 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats"} {
+	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats", "scratchreuse"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

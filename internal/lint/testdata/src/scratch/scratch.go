@@ -1,0 +1,95 @@
+// Fixture for the scratchreuse analyzer: pooled-scratch discipline in a
+// package shaped like the blocking hot path.
+package scratch
+
+import "sync"
+
+type table struct {
+	keys []int32
+	n    int
+}
+
+func (t *table) reset()             { t.n = 0 }
+func (t *table) getOrInsert() int   { t.n++; return t.n }
+func (t *table) lookup(k int32) int { return int(k) }
+
+type slab struct {
+	tab  table
+	cnt  []int32
+	next *slab
+}
+
+var pool = sync.Pool{New: func() any { return new(slab) }}
+
+var boxing = sync.Pool{New: func() any {
+	return slab{} // want "non-pointer .*box it into an interface"
+}}
+
+// good follows the full discipline: bind, reset a field, use, Put.
+func good() int {
+	sc := pool.Get().(*slab)
+	sc.tab.reset()
+	n := sc.tab.getOrInsert()
+	pool.Put(sc)
+	return n
+}
+
+// goodDefer resets the value itself and Puts via defer.
+func goodDefer() int {
+	sc := pool.Get().(*slab)
+	defer pool.Put(sc)
+	sc.tab.reset()
+	return sc.tab.lookup(3)
+}
+
+// noReset reuses the dirty instance as-is.
+func noReset() int {
+	sc := pool.Get().(*slab) // want "used without a reset/clear call"
+	n := sc.tab.getOrInsert()
+	pool.Put(sc)
+	return n
+}
+
+// noPut borrows and never returns the instance.
+func noPut() int {
+	sc := pool.Get().(*slab) // want "never Put back to its pool"
+	sc.tab.reset()
+	return sc.tab.getOrInsert()
+}
+
+// dropped discards the Get result outright.
+func dropped() {
+	pool.Get() // want "not bound to a variable"
+}
+
+var leaked *slab
+
+// escapes stores, returns and publishes the borrowed value.
+func escapes(out chan *slab) *slab {
+	sc := pool.Get().(*slab)
+	sc.tab.reset()
+	leaked = sc // want "escapes the borrowing function"
+	out <- sc   // want "escapes the borrowing function"
+	pool.Put(sc)
+	return sc // want "escapes the borrowing function"
+}
+
+// fieldEscape leaks the slab through a struct field.
+func fieldEscape(holder *slab) {
+	sc := pool.Get().(*slab)
+	sc.tab.reset()
+	holder.next = sc // want "escapes the borrowing function"
+	pool.Put(sc)
+}
+
+// localAlias is fine: aliasing to a local does not extend the lifetime.
+func localAlias() int {
+	sc := pool.Get().(*slab)
+	sc.tab.reset()
+	alias := sc
+	cnt := sc.cnt
+	_ = cnt
+	n := alias.tab.getOrInsert()
+	pool.Put(sc)
+	return n
+}

@@ -73,7 +73,7 @@ func (f DateConvert) Apply(x string) string {
 
 func (f DateConvert) Params() int { return 2 }
 
-func (f DateConvert) Key() string { return "datecv:" + quote(f.From) + quote(f.To) }
+func (f DateConvert) Key() string { return key2("datecv:", f.From, f.To) }
 
 func (f DateConvert) String() string {
 	return fmt.Sprintf("date(%s) ↦ date(%s), otherwise x ↦ x", f.From, f.To)

@@ -19,6 +19,7 @@ package metafunc
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -46,8 +47,44 @@ type Meta interface {
 	Induce(in, out string) []Func
 }
 
-// quote length-prefixes a parameter so Keys cannot collide.
-func quote(s string) string { return fmt.Sprintf("%d:%s", len(s), s) }
+// writeQuoted length-prefixes a parameter so Keys cannot collide. The
+// rendering is "<len>:<s>", identical for every builder below.
+func writeQuoted(sb *strings.Builder, s string) {
+	var tmp [20]byte
+	sb.Write(strconv.AppendInt(tmp[:0], int64(len(s)), 10))
+	sb.WriteByte(':')
+	sb.WriteString(s)
+}
+
+// key1 and key2 render prefix plus quoted parameters in one allocation;
+// Key() sits on the induction/dedup hot path, so the fmt round trip the
+// obvious Sprintf formulation costs is worth avoiding.
+func key1(prefix, s string) string {
+	var sb strings.Builder
+	sb.Grow(len(prefix) + len(s) + 21)
+	sb.WriteString(prefix)
+	writeQuoted(&sb, s)
+	return sb.String()
+}
+
+func key2(prefix, a, b string) string {
+	var sb strings.Builder
+	sb.Grow(len(prefix) + len(a) + len(b) + 42)
+	sb.WriteString(prefix)
+	writeQuoted(&sb, a)
+	writeQuoted(&sb, b)
+	return sb.String()
+}
+
+// keyByte is key1 for a single-byte parameter, without the string conversion.
+func keyByte(prefix string, c byte) string {
+	var sb strings.Builder
+	sb.Grow(len(prefix) + 3)
+	sb.WriteString(prefix)
+	sb.WriteString("1:")
+	sb.WriteByte(c)
+	return sb.String()
+}
 
 // verified filters candidates down to those that actually reproduce the
 // generating example; induction bugs fail loudly in tests through this gate.
@@ -136,7 +173,7 @@ type Constant struct{ C string }
 
 func (f Constant) Apply(string) string { return f.C }
 func (f Constant) Params() int         { return 1 }
-func (f Constant) Key() string         { return "const:" + quote(f.C) }
+func (f Constant) Key() string         { return key1("const:", f.C) }
 func (f Constant) String() string      { return fmt.Sprintf("x ↦ %q", f.C) }
 
 // ConstantMeta induces x ↦ out from every example.

@@ -63,11 +63,16 @@ func (m *Mapping) Entries() [][2]string {
 }
 
 func (m *Mapping) Key() string {
+	n := 4
+	for _, k := range m.keys {
+		n += len(k) + len(m.pairs[k]) + 42
+	}
 	var sb strings.Builder
+	sb.Grow(n)
 	sb.WriteString("map:")
 	for _, k := range m.keys {
-		sb.WriteString(quote(k))
-		sb.WriteString(quote(m.pairs[k]))
+		writeQuoted(&sb, k)
+		writeQuoted(&sb, m.pairs[k])
 	}
 	return sb.String()
 }

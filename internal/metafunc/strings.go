@@ -20,7 +20,7 @@ func (f FrontMask) Apply(x string) string {
 }
 
 func (f FrontMask) Params() int    { return 1 }
-func (f FrontMask) Key() string    { return "fmask:" + quote(f.M) }
+func (f FrontMask) Key() string    { return key1("fmask:", f.M) }
 func (f FrontMask) String() string { return fmt.Sprintf(".{%d}◦x ↦ %q◦x", len(f.M), f.M) }
 
 // BackMask is the inverse variant: the last |m| bytes are replaced.
@@ -34,7 +34,7 @@ func (f BackMask) Apply(x string) string {
 }
 
 func (f BackMask) Params() int    { return 1 }
-func (f BackMask) Key() string    { return "bmask:" + quote(f.M) }
+func (f BackMask) Key() string    { return key1("bmask:", f.M) }
 func (f BackMask) String() string { return fmt.Sprintf("x◦.{%d} ↦ x◦%q", len(f.M), f.M) }
 
 // MaskingMeta induces the shortest mask consistent with the example, at
@@ -86,7 +86,7 @@ func (f FrontTrim) Apply(x string) string {
 }
 
 func (f FrontTrim) Params() int    { return 1 }
-func (f FrontTrim) Key() string    { return "ftrim:" + quote(string(f.C)) }
+func (f FrontTrim) Key() string    { return keyByte("ftrim:", f.C) }
 func (f FrontTrim) String() string { return fmt.Sprintf("[%q]*◦x ↦ x", f.C) }
 
 // BackTrim is the inverse variant: the trailing run of C is removed.
@@ -101,7 +101,7 @@ func (f BackTrim) Apply(x string) string {
 }
 
 func (f BackTrim) Params() int    { return 1 }
-func (f BackTrim) Key() string    { return "btrim:" + quote(string(f.C)) }
+func (f BackTrim) Key() string    { return keyByte("btrim:", f.C) }
 func (f BackTrim) String() string { return fmt.Sprintf("x◦[%q]* ↦ x", f.C) }
 
 // TrimmingMeta induces trims from examples with a visible stripped run.
@@ -137,7 +137,7 @@ type Prefix struct{ Y string }
 
 func (f Prefix) Apply(x string) string { return f.Y + x }
 func (f Prefix) Params() int           { return 1 }
-func (f Prefix) Key() string           { return "prefix:" + quote(f.Y) }
+func (f Prefix) Key() string           { return key1("prefix:", f.Y) }
 func (f Prefix) String() string        { return fmt.Sprintf("x ↦ %q◦x", f.Y) }
 
 // Suffix is the inverse variant x ↦ x ◦ y.
@@ -145,7 +145,7 @@ type Suffix struct{ Y string }
 
 func (f Suffix) Apply(x string) string { return x + f.Y }
 func (f Suffix) Params() int           { return 1 }
-func (f Suffix) Key() string           { return "suffix:" + quote(f.Y) }
+func (f Suffix) Key() string           { return key1("suffix:", f.Y) }
 func (f Suffix) String() string        { return fmt.Sprintf("x ↦ x◦%q", f.Y) }
 
 // AffixMeta induces prefixing/suffixing when out extends in at one margin.
@@ -183,7 +183,7 @@ func (f PrefixReplace) Apply(x string) string {
 }
 
 func (f PrefixReplace) Params() int { return 2 }
-func (f PrefixReplace) Key() string { return "pfxrep:" + quote(f.Y) + quote(f.Z) }
+func (f PrefixReplace) Key() string { return key2("pfxrep:", f.Y, f.Z) }
 func (f PrefixReplace) String() string {
 	return fmt.Sprintf("%q◦x ↦ %q◦x, otherwise x ↦ x", f.Y, f.Z)
 }
@@ -199,7 +199,7 @@ func (f SuffixReplace) Apply(x string) string {
 }
 
 func (f SuffixReplace) Params() int { return 2 }
-func (f SuffixReplace) Key() string { return "sfxrep:" + quote(f.Y) + quote(f.Z) }
+func (f SuffixReplace) Key() string { return key2("sfxrep:", f.Y, f.Z) }
 func (f SuffixReplace) String() string {
 	return fmt.Sprintf("x◦%q ↦ x◦%q, otherwise x ↦ x", f.Y, f.Z)
 }

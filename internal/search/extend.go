@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"affidavit/internal/align"
 	"affidavit/internal/delta"
@@ -38,7 +39,7 @@ func (e *engine) extensions(h *State) []*State {
 	if batch > len(ordered) {
 		batch = len(ordered)
 	}
-	r := align.Random(h.blocks, e.rng)
+	r := e.alignSc.Random(h.blocks, e.rng)
 
 	var ext []*State
 	next := batch
@@ -149,7 +150,7 @@ func (e *engine) finalize(h *State) *State {
 	cur := h
 	for !cur.IsEnd() {
 		attr := cur.undecided()[0]
-		r := align.Random(cur.blocks, e.rng)
+		r := e.alignSc.Random(cur.blocks, e.rng)
 		g := align.GreedyMap(cur.inst, r, attr)
 		cur = cur.extend(attr, g, e.cm)
 		e.stats.StatesGenerated++
@@ -172,6 +173,11 @@ type engine struct {
 	stats *Stats
 	sem   chan struct{} // worker-pool slots; nil = sequential engine
 
+	// alignSc is the run's reusable alignment-sampling scratch. Touched only
+	// from the polling goroutine (extensions and finalize); each returned
+	// alignment is consumed by one probe wave before the next sample.
+	alignSc align.Scratch
+
 	// Per-run spill accounting (nil without a budget): refinement grouping
 	// and end-state matching report here, and the totals surface as Stats
 	// fields and KindSpill events.
@@ -185,9 +191,14 @@ func (e *engine) done() bool { return e.ctx.Err() != nil }
 
 // runAll runs n independent tasks, evaluating up to Workers of them
 // concurrently. The calling goroutine participates: when every pool slot is
-// busy the task runs inline, which also makes nested runAll calls (probe →
-// candidate refinements → induction) deadlock-free. Tasks must write their
-// results by index; runAll returns when all tasks finished.
+// busy the whole batch runs inline, which also makes nested runAll calls
+// (probe → candidate refinements → induction) deadlock-free. Tasks must
+// write their results by index; runAll returns when all tasks finished.
+//
+// Dispatch is batched: the free pool slots are claimed once per call and
+// each claimed helper pulls task indices from a shared atomic counter, so
+// the semaphore handoff costs at most Workers−1 channel operations per
+// batch instead of one per task.
 func (e *engine) runAll(n int, task func(int)) {
 	if e.sem == nil || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -195,21 +206,46 @@ func (e *engine) runAll(n int, task func(int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	helpers := 0
+claim:
+	for helpers < n-1 {
 		select {
 		case e.sem <- struct{}{}:
-			wg.Add(1)
-			go func(i int) {
-				defer func() {
-					<-e.sem
-					wg.Done()
-				}()
-				task(i)
-			}(i)
+			helpers++
 		default:
+			break claim
+		}
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
 			task(i)
 		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for h := 0; h < helpers; h++ {
+		go func() {
+			defer func() {
+				<-e.sem
+				wg.Done()
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		task(i)
 	}
 	wg.Wait()
 }

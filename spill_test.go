@@ -124,6 +124,66 @@ func TestSpillEquivalence(t *testing.T) {
 	}
 }
 
+// TestSpillSlabInteraction pins the spill × pooled-slab boundary: with a
+// budget, blocking refinements take the eager spill-accounted path, while
+// unbudgeted runs count surpluses through process-global pooled scratch
+// (blocking's countPool) and defer materialisation. Interleaving budgeted
+// and unbudgeted explains in one process therefore hands each mode slabs
+// the other mode dirtied — if any pooled state survived a run, or the lazy
+// path diverged from the eager one, the explanation bytes would drift from
+// the reference. Runs on a shape-diverse registry subset, both engines;
+// the full-registry single-pass sweep is TestSpillEquivalence.
+func TestSpillSlabInteraction(t *testing.T) {
+	for _, name := range []string{"bridges", "ncvoter-1k", "horse", "flight-1k"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := datasets.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := spec.BuildRows(spillRows(spec), 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := gen.Generate(tab, gen.Config{Setting: gen.Setting{Eta: 0.3, Tau: 0.3}, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				explain := func(budget int64) *affidavit.Result {
+					opts := []affidavit.Option{affidavit.WithSeed(9), affidavit.WithWorkers(workers)}
+					if budget > 0 {
+						opts = append(opts, affidavit.WithMemBudget(budget))
+					}
+					ex, err := affidavit.New(opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := ex.Explain(context.Background(), p.Inst.Source, p.Inst.Target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				ref := explanationBytes(t, explain(0))
+				// Alternate modes twice so each run inherits scratch the
+				// opposite mode left in the pools.
+				for round, budget := range []int64{spillTestBudget, 0, spillTestBudget, 0} {
+					res := explain(budget)
+					if budget > 0 && res.Stats.SpilledBytes == 0 {
+						t.Fatalf("workers=%d round %d: budgeted run did not spill", workers, round)
+					}
+					if got := explanationBytes(t, res); string(got) != string(ref) {
+						t.Errorf("workers=%d round %d (budget=%d): explanation drifted from reference\nwant %s\ngot  %s",
+							workers, round, budget, ref, got)
+					}
+				}
+			}
+		})
+	}
+}
+
 // eventRecorder captures a full event stream (unlike spillComponents,
 // which only records components).
 type eventRecorder struct {
