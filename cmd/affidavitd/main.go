@@ -9,6 +9,13 @@
 //
 //	affidavitd -addr :8080 [search flags]
 //
+// Every explanation — sync or async — flows through a durable,
+// content-addressed job queue: identical snapshot pairs dedupe to a
+// single computation (responses are byte-identical, so the cached result
+// is exact), a dropped connection no longer throws work away, and with
+// -jobs-dir the queue survives restarts — jobs interrupted mid-run are
+// journaled back to pending and finished by the next process.
+//
 // Endpoints:
 //
 //	POST /explain      multipart upload: files "source" and "target" (CSV,
@@ -20,8 +27,16 @@
 //	                   | text), "warm" ("1" = chain mode: warm-start from
 //	                   the table's previous explanation and store the new
 //	                   one), "trace" ("1" = inline the run's structured
-//	                   trace in the JSON response). Every response carries
-//	                   X-Affidavit-Trace-Id naming the run's trace.
+//	                   trace in the JSON response), "async" ("1" = answer
+//	                   202 Accepted with the job id instead of waiting).
+//	                   Every response carries X-Affidavit-Job-Id and, when
+//	                   tracing is on, X-Affidavit-Trace-Id.
+//	GET  /jobs         every job in submission order (deterministic)
+//	GET  /jobs/{id}    one job's status, attempts, stats and trace id
+//	GET  /jobs/{id}/result  the stored result bytes (byte-identical for
+//	                   every submitter of the same pair)
+//	DELETE /jobs/{id}  cancel: a pending job terminally, a running job
+//	                   via its context
 //	GET  /traces       index of recent run traces, most recent first
 //	GET  /traces/{id}  one full structured trace: per-stage wall-clock
 //	                   spans (ingest, search, finalize, convert), the
@@ -38,8 +53,18 @@
 //
 // Operating knobs:
 //
-//	-timeout       per-request explanation budget; on expiry the request
-//	               answers 503 with the partial search statistics
+//	-jobs-dir      root of the durable job state (JSONL journal, upload
+//	               blobs, result store); empty = in-memory queue with the
+//	               same dedupe/cancel semantics but no crash durability
+//	-job-workers   queue-draining workers; jobs shard across workers by
+//	               table hash, so one table's jobs run serially in
+//	               submission order and warm chains stay warm (default 2)
+//	-job-retry     attempts per job, first run included; only transient
+//	               failures (blob-store I/O) retry, with doubling backoff
+//	               (default 3)
+//	-timeout       per-job explanation budget; on expiry the job fails
+//	               terminally and a sync waiter answers 503 with the
+//	               partial search statistics
 //	-max-sessions  LRU cap on retained per-table sessions
 //	-session-ttl   idle sessions are evicted past this age
 //	-max-upload    cap on each non-file form value, in MiB (file parts
@@ -90,7 +115,10 @@ func main() {
 		maxRecords  = flag.Int("max-records", 0, "largest accepted snapshot in records (0 = default 10M, negative = unlimited)")
 		maxSnapshot = flag.Int64("max-snapshot", 0, "largest accepted snapshot in MiB (0 = default 1024, negative = unlimited)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent /explain requests (0 = unlimited)")
-		timeout     = flag.Duration("timeout", 0, "per-request explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
+		timeout     = flag.Duration("timeout", 0, "per-job explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
+		jobsDir     = flag.String("jobs-dir", "", "durable job state root: JSONL journal, upload blobs, result store (empty = in-memory queue)")
+		jobWorkers  = flag.Int("job-workers", 0, "queue-draining workers; jobs shard by table hash (0 = default 2)")
+		jobRetry    = flag.Int("job-retry", 0, "attempts per job incl. the first; transient failures retry with doubling backoff (0 = default 3)")
 		maxSessions = flag.Int("max-sessions", 0, "retained per-table sessions (0 = unlimited; excess evicts least-recently-used)")
 		sessionTTL  = flag.Duration("session-ttl", 0, "idle session lifetime (0 = sessions never expire)")
 		traceBuffer = flag.Int("trace-buffer", defaultTraceBuffer, "retained run traces behind /traces (0 = disable per-request tracing)")
@@ -122,6 +150,9 @@ func main() {
 		sessionTTL:       *sessionTTL,
 		traceBuffer:      *traceBuffer,
 		pprof:            *pprofFlag,
+		jobsDir:          *jobsDir,
+		jobWorkers:       *jobWorkers,
+		jobRetry:         *jobRetry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavitd:", err)
@@ -148,6 +179,13 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			fmt.Fprintln(os.Stderr, "affidavitd: shutdown:", err)
+			os.Exit(1)
+		}
+		// Drain the job subsystem after the listener: running jobs are
+		// journaled back to pending (the next process finishes them) and
+		// the store closes its journal cleanly.
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "affidavitd: job store:", err)
 			os.Exit(1)
 		}
 	case err := <-errc:

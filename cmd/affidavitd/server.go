@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"affidavit"
+	"affidavit/internal/jobs"
 )
 
 // maxFieldBytes caps each non-file multipart value (table name, format,
@@ -72,7 +73,24 @@ type serverConfig struct {
 	traceBuffer int
 	// pprof mounts net/http/pprof handlers under /debug/pprof/ when set.
 	pprof bool
-	// now is the clock; nil means time.Now. Tests inject a fake.
+	// jobsDir roots the durable job state (-jobs-dir): the JSONL journal,
+	// the content-addressed upload blobs, and the result store. Empty
+	// means an in-memory job store — same queue, dedupe and cancel
+	// semantics, no crash durability.
+	jobsDir string
+	// jobWorkers sizes the queue-draining pool (-job-workers; 0 = 2).
+	// Jobs shard across workers by table hash, so one table's jobs run
+	// serially in submission order and warm chains stay warm.
+	jobWorkers int
+	// jobRetry bounds runner executions per job, first attempt included
+	// (-job-retry; 0 = 3). Only transient failures retry.
+	jobRetry int
+	// jobBackoff is the base retry delay, doubled per attempt (0 = the
+	// pool default). Tests shrink it.
+	jobBackoff time.Duration
+	// now is the clock; nil means time.Now. Tests inject a fake. It paces
+	// session eviction only — the job store keeps its own wall clock, so
+	// fake-clock tests do not race with queue backoff arithmetic.
 	now func() time.Time
 }
 
@@ -95,6 +113,12 @@ type server struct {
 	metrics     *affidavit.MetricsObserver
 	maxInflight chan struct{} // nil = unlimited
 	startedAt   time.Time
+
+	// store is the durable, content-addressed job queue + result store;
+	// pool drains it through runJob. Every explanation — sync or async —
+	// goes through them, so both paths share dedupe and accounting.
+	store *jobs.Store
+	pool  *jobs.Pool
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -145,7 +169,32 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.maxInflight > 0 {
 		s.maxInflight = make(chan struct{}, cfg.maxInflight)
 	}
+	// Open the job store (replaying the journal when -jobs-dir holds one:
+	// pending and crash-orphaned jobs requeue, completed results keep
+	// serving) and start the drain pool. The pool's lifetime is bound to
+	// Close, not a request context, so a SIGINT requeues running jobs
+	// instead of failing them.
+	store, err := jobs.Open(jobs.Options{Dir: cfg.jobsDir})
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.pool = jobs.NewPool(store, s.runJob, jobs.PoolOptions{
+		Workers:     cfg.jobWorkers,
+		MaxAttempts: cfg.jobRetry,
+		Backoff:     cfg.jobBackoff,
+		Timeout:     cfg.timeout,
+	})
+	s.pool.Start(context.Background())
 	return s, nil
+}
+
+// Close drains the worker pool (running jobs are journaled back to
+// pending — drain-on-shutdown persists the queue) and then closes the
+// store, releasing any sync waiters.
+func (s *server) Close() error {
+	s.pool.Close()
+	return s.store.Close()
 }
 
 // session returns the named table's session, creating it on first use and
@@ -225,8 +274,10 @@ func (s *server) janitor(ctx context.Context) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.Handle("/metrics", s.metrics)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/traces/", s.handleTraces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -404,64 +455,88 @@ func (l *limitedSource) Next() (affidavit.Record, error) {
 	return rec, nil
 }
 
+// upload is one parsed /explain body: both snapshots interned, their
+// content hashes (the blob addresses dedupe keys on), and the small form
+// values.
+type upload struct {
+	src, tgt         *affidavit.Table
+	srcHash, tgtHash string
+	form             map[string]string
+}
+
 // readUpload streams the multipart body: the "source" and "target" file
 // parts are interned into the columnar backend as they arrive (never
-// buffered as [][]string, and not bounded by -max-upload), other parts are
-// collected as small form values. Parts may arrive in any order.
-func (s *server) readUpload(ctx context.Context, r *http.Request) (src, tgt *affidavit.Table, form map[string]string, err error) {
+// buffered as [][]string, and not bounded by -max-upload), while the
+// same bytes are teed into the job blob store — hashed for the content
+// address and, under -jobs-dir, spooled to disk so a crash-requeued job
+// can re-ingest. Other parts are collected as small form values. Parts
+// may arrive in any order.
+func (s *server) readUpload(ctx context.Context, r *http.Request) (*upload, error) {
 	mr, err := r.MultipartReader()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("parsing upload: %w", err)
+		return nil, fmt.Errorf("parsing upload: %w", err)
 	}
-	form = make(map[string]string)
+	up := &upload{form: make(map[string]string)}
 	for {
 		part, perr := mr.NextPart()
 		if perr == io.EOF {
 			break
 		}
 		if perr != nil {
-			return nil, nil, nil, fmt.Errorf("parsing upload: %w", perr)
+			return nil, fmt.Errorf("parsing upload: %w", perr)
 		}
 		name := part.FormName()
 		switch name {
 		case "source", "target":
-			csvPart := affidavit.NewCSVSource(cappedReader(part, s.cfg.maxSnapshotBytes))
+			bw := s.store.Blobs().NewWriter()
+			body := io.TeeReader(cappedReader(part, s.cfg.maxSnapshotBytes), bw)
+			csvPart := affidavit.NewCSVSource(body)
 			tab, rerr := s.ex.ReadSourceNamed(ctx, limitRecords(csvPart, s.cfg.maxRecords), name)
+			if rerr == nil {
+				// Hash any bytes the CSV reader buffered past the final
+				// record, so the address is a function of the whole part.
+				_, rerr = io.Copy(io.Discard, body)
+			}
 			part.Close()
 			if rerr != nil {
-				return nil, nil, nil, fmt.Errorf("reading %q file: %w", name, rerr)
+				bw.Abort()
+				return nil, fmt.Errorf("reading %q file: %w", name, rerr)
+			}
+			hash, cerr := bw.Commit()
+			if cerr != nil {
+				return nil, fmt.Errorf("storing %q upload: %w", name, cerr)
 			}
 			if name == "source" {
-				src = tab
+				up.src, up.srcHash = tab, hash
 			} else {
-				tgt = tab
+				up.tgt, up.tgtHash = tab, hash
 			}
 		default:
 			// Bound both each field's size and the field count, so a body
 			// of endless small parts cannot grow the form map without
 			// limit.
-			if len(form) >= maxFormFields {
-				return nil, nil, nil, fmt.Errorf("too many form fields (limit %d)", maxFormFields)
+			if len(up.form) >= maxFormFields {
+				return nil, fmt.Errorf("too many form fields (limit %d)", maxFormFields)
 			}
 			limit := s.cfg.maxUpload
 			b, rerr := io.ReadAll(io.LimitReader(part, limit+1))
 			part.Close()
 			if rerr != nil {
-				return nil, nil, nil, fmt.Errorf("reading field %q: %w", name, rerr)
+				return nil, fmt.Errorf("reading field %q: %w", name, rerr)
 			}
 			if int64(len(b)) > limit {
-				return nil, nil, nil, fmt.Errorf("field %q exceeds %d bytes", name, limit)
+				return nil, fmt.Errorf("field %q exceeds %d bytes", name, limit)
 			}
-			form[name] = string(b)
+			up.form[name] = string(b)
 		}
 	}
-	if src == nil {
-		return nil, nil, nil, fmt.Errorf("missing %q file", "source")
+	if up.src == nil {
+		return nil, fmt.Errorf("missing %q file", "source")
 	}
-	if tgt == nil {
-		return nil, nil, nil, fmt.Errorf("missing %q file", "target")
+	if up.tgt == nil {
+		return nil, fmt.Errorf("missing %q file", "target")
 	}
-	return src, tgt, form, nil
+	return up, nil
 }
 
 // handleExplain serves POST /explain: a multipart upload with CSV files
@@ -474,26 +549,30 @@ func (s *server) readUpload(ctx context.Context, r *http.Request) (src, tgt *aff
 //	format  json (default) | sql | text
 //	warm    "1" warm-starts from the table's previous explanation and
 //	        stores the new one (chain mode)
+//	async   "1" answers 202 Accepted with the job id immediately; poll
+//	        GET /jobs/{id} and fetch GET /jobs/{id}/result
 //
-// The explanation runs under the request's context, additionally bounded
-// by the -timeout flag; on expiry the request answers 503 Service
-// Unavailable with the partial search statistics, and the session discards
-// the interrupted run's warm state.
+// Every explanation — sync or async — goes through the content-addressed
+// job queue: identical snapshot pairs (same table, format and upload
+// bytes) dedupe to a single computation, and a re-submission of a
+// completed pair is served straight from the result store. The sync path
+// is a thin submit-and-wait over the same queue; a client that
+// disconnects mid-wait no longer throws the work away — the job finishes
+// and its result stays fetchable under /jobs/{id}/result.
+//
+// The job runs under the worker pool's per-job deadline (-timeout); on
+// expiry the job fails terminally and a sync waiter answers 503 Service
+// Unavailable with the partial search statistics.
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	ctx := r.Context()
-	if s.cfg.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
-		defer cancel()
-	}
 	if s.maxInflight != nil {
 		// Wait for a slot under the request context: a client that
-		// disconnects (or times out) while queued must not consume a slot
-		// and pay the upload ingest for an answer nobody reads.
+		// disconnects while queued must not consume a slot and pay the
+		// upload ingest for an answer nobody reads.
 		select {
 		case s.maxInflight <- struct{}{}:
 			defer func() { <-s.maxInflight }()
@@ -502,15 +581,16 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// One trace recorder rides the whole request on its context: the
-	// streamed upload ingest (readUpload) and the session explain feed the
-	// same per-run trace, retained in the /traces ring.
-	var rec *affidavit.TraceRecorder
+	// One trace recorder rides the whole submission: the streamed upload
+	// ingest (readUpload, below) and the job's search (runJob attaches
+	// the same recorder to the worker context) feed one per-run trace.
+	var trec *affidavit.TraceRecorder
+	ictx := ctx
 	if s.cfg.traceBuffer != 0 {
-		rec = affidavit.NewTraceRecorder()
-		ctx = affidavit.ContextWithObserver(ctx, rec)
+		trec = affidavit.NewTraceRecorder()
+		ictx = affidavit.ContextWithObserver(ctx, trec)
 	}
-	src, tgt, form, err := s.readUpload(ctx, r)
+	up, err := s.readUpload(ictx, r)
 	if err != nil {
 		if ctx.Err() != nil {
 			http.Error(w, "request expired during upload ingest", http.StatusServiceUnavailable)
@@ -525,73 +605,58 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if v := r.URL.Query().Get(k); v != "" {
 			return v
 		}
-		return form[k]
+		return up.form[k]
 	}
 	table := value("table")
 	if table == "" {
 		table = "table"
 	}
-	sess := s.session(table)
-	var res *affidavit.Result
-	if value("warm") == "1" {
-		res, err = sess.ExplainWarmContext(ctx, src, tgt)
-	} else {
-		res, err = sess.ExplainPairContext(ctx, src, tgt)
+	format := value("format")
+	switch format {
+	case "":
+		format = "json"
+	case "json", "sql", "text":
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q", format), http.StatusBadRequest)
+		return
 	}
+	warm := value("warm") == "1"
+	spec := jobs.Spec{
+		Table:      table,
+		Format:     format,
+		Warm:       warm,
+		SourceBlob: up.srcHash,
+		TargetBlob: up.tgtHash,
+		Payload:    &jobPayload{src: up.src, tgt: up.tgt, trace: trec},
+	}
+	if !warm {
+		// The content address: canonicalized upload hashes plus every
+		// option the result bytes depend on. Warm jobs depend on session
+		// history too, so they never dedupe (empty address).
+		spec.Addr = jobs.Address("explain/v1", table, format, up.srcHash, up.tgtHash)
+	}
+	job, _, err := s.store.Submit(spec)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	var tr *affidavit.Trace
-	if rec != nil {
-		rec.SetLabel(table)
-		tr = rec.Trace()
-		s.storeTrace(tr)
-		// Cancelled runs answer 503, but their trace is retained too —
-		// a truncated cost curve is exactly what a timeout post-mortem
-		// wants to see.
-		w.Header().Set("X-Affidavit-Trace-Id", tr.ID)
-	}
-	if res.Stats.Cancelled {
-		st := affidavit.StatsJSON(res.Stats)
-		st.Cancelled = false // the 503 body's error field already says it
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(deadlineResponse{
-			Error: "deadline exceeded before the explanation finished",
-			Table: table,
-			Stats: st,
-		})
+	w.Header().Set("X-Affidavit-Job-Id", job.ID())
+	if value("async") == "1" {
+		s.writeJobAccepted(w, job)
 		return
 	}
-
-	switch value("format") {
-	case "", "json":
-		jr := res.JSONResult(table)
-		// ?trace=1 inlines the same trace /traces/{id} serves; plain
-		// responses stay byte-identical to untraced runs.
-		if tr != nil && value("trace") == "1" {
-			jr.Trace = tr
-		}
-		out, err := json.MarshalIndent(jr, "", "  ")
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	rec, err := s.store.Wait(ctx, job)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client's wait ended, not the job: it keeps running and
+			// its result stays fetchable.
+			http.Error(w, "request expired while waiting; poll /jobs/"+job.ID(), http.StatusServiceUnavailable)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(out)
-		w.Write([]byte("\n"))
-	case "sql":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, res.SQL(table))
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, res.Report())
-	default:
-		http.Error(w, fmt.Sprintf("unknown format %q", value("format")), http.StatusBadRequest)
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
 	}
+	s.writeJobOutcome(w, rec, value("trace") == "1")
 }
 
 type tableStats struct {
@@ -608,6 +673,9 @@ type statsResponse struct {
 	TracesRetained  int                   `json:"traces_retained"`
 	Tables          map[string]tableStats `json:"tables"`
 	SessionsEvicted int                   `json:"sessions_evicted"`
+	// Jobs mirrors /metrics' affidavit_jobs_* series: queue depth,
+	// running, and the lifetime submission/dedupe/outcome counters.
+	Jobs jobsStats `json:"jobs"`
 	// Out-of-core totals under -mem-budget (mirrors /metrics'
 	// affidavit_spill_bytes_total / affidavit_spill_partitions_total).
 	SpillBytes      int64 `json:"spill_bytes_total"`
@@ -647,6 +715,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TracesRetained:  retained,
 		Tables:          out,
 		SessionsEvicted: evicted,
+		Jobs:            s.jobsStats(),
 		SpillBytes:      spillBytes,
 		SpillPartitions: spillParts,
 	}); err != nil {

@@ -541,8 +541,14 @@ func TestTracesEndpoint(t *testing.T) {
 	if tr.Mode != "cold" {
 		t.Errorf("mode %q, want cold", tr.Mode)
 	}
+	// The trace joins the job that ran it.
+	if jobID := resp.Header.Get("X-Affidavit-Job-Id"); jobID == "" || tr.JobID != jobID {
+		t.Errorf("trace job id %q, want header job id %q", tr.JobID, jobID)
+	}
 
-	// ?trace=1 inlines the run's own trace.
+	// ?trace=1 inlines the run's trace. This re-submission of an
+	// identical pair dedupes to the already-completed job, so the
+	// inlined trace is the original run's — and no second run happens.
 	resp2, body2 := postResp(t, srv, srv.URL+"/explain?trace=1", src, tgt, map[string]string{"table": "traced"})
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("trace=1 explain: status %d: %s", resp2.StatusCode, body2)
@@ -575,8 +581,13 @@ func TestTracesEndpoint(t *testing.T) {
 	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats.TracesRetained != 2 {
-		t.Errorf("traces_retained %d, want 2", stats.TracesRetained)
+	// One retained trace: the deduped re-submission joined the first run
+	// instead of computing (and tracing) a second one.
+	if stats.TracesRetained != 1 {
+		t.Errorf("traces_retained %d, want 1 (dedupe joins the first run)", stats.TracesRetained)
+	}
+	if stats.Jobs.DedupeHits != 1 || stats.Jobs.Submitted != 1 {
+		t.Errorf("jobs stats = %+v, want 1 submission + 1 dedupe hit", stats.Jobs)
 	}
 	if stats.GoVersion == "" || stats.StartedAt.IsZero() {
 		t.Errorf("stats identity fields missing: %+v", stats)

@@ -2,6 +2,7 @@ package align_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"affidavit/internal/align"
@@ -9,6 +10,7 @@ import (
 	"affidavit/internal/delta"
 	"affidavit/internal/fixture"
 	"affidavit/internal/metafunc"
+	"affidavit/internal/spill"
 	"affidavit/internal/table"
 )
 
@@ -158,5 +160,57 @@ func TestOverlapIgnoresOverFrequentValues(t *testing.T) {
 			t.Errorf("pair %v scored %d; const column should not contribute",
 				p, ov.Scores[i])
 		}
+	}
+}
+
+func TestComputeOverlapSpillEquivalence(t *testing.T) {
+	// A one-byte budget forces the external path for any non-trivial
+	// estimate; the partitioned argmax must reproduce the in-memory result
+	// byte for byte.
+	big := func() *delta.Instance {
+		s := table.MustSchema("city", "key", "grp")
+		var srcRows, tgtRows []table.Record
+		for i := 0; i < 120; i++ {
+			city := string(rune('A' + i%7))
+			key := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			grp := string(rune('0' + i%5))
+			srcRows = append(srcRows, table.Record{city, key, grp})
+			tgtRows = append(tgtRows, table.Record{city, key, grp})
+		}
+		src := table.MustFromRows(s, srcRows)
+		tgt := table.MustFromRows(s, tgtRows)
+		inst, err := delta.NewInstance(src, tgt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	for _, tc := range []struct {
+		name string
+		inst *delta.Instance
+	}{
+		{"figure1", fixture.Instance()},
+		{"generated", big()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := align.ComputeOverlap(tc.inst, 100000)
+			m := spill.NewManager(1, t.TempDir())
+			st := &spill.Stats{}
+			got := align.ComputeOverlapSpill(tc.inst, 100000, m, st)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("spilled overlap diverged:\n got %+v\nwant %+v", got, want)
+			}
+			if st.Bytes() == 0 {
+				t.Errorf("expected spill bytes under a 1-byte budget")
+			}
+		})
+	}
+}
+
+func TestComputeOverlapSpillNilManagerMatches(t *testing.T) {
+	inst := fixture.Instance()
+	want := align.ComputeOverlap(inst, 100000)
+	if got := align.ComputeOverlapSpill(inst, 100000, nil, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("nil-manager overlap diverged:\n got %+v\nwant %+v", got, want)
 	}
 }

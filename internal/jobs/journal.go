@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// journal is the append-only JSONL transition log: one full Record per
+// line, last line per id wins on replay. Appends fsync before returning,
+// so an acknowledged state transition survives a crash; a torn final
+// line (power cut mid-write) is detected on open and truncated away
+// rather than poisoning the store.
+type journal struct {
+	path  string
+	f     *os.File
+	lines int // appended since open/compaction, drives compaction
+}
+
+// openJournal opens (creating if needed) the journal at path and replays
+// it. The returned records are the live set — one per job id, last
+// transition wins — ordered by Seq.
+func openJournal(path string) (*journal, []Record, error) {
+	recs, keep, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop a torn or corrupt tail before reopening for append: everything
+	// past the last decodable line is garbage from an interrupted write.
+	if fi, statErr := os.Stat(path); statErr == nil && fi.Size() > keep {
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, nil, fmt.Errorf("jobs: truncating journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// replayJournal decodes path line by line. It returns the live records
+// (last line per id, ordered by Seq) and the byte length of the valid
+// prefix; decoding stops at the first corrupt line. A missing file
+// replays empty.
+func replayJournal(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("jobs: opening journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		byID = make(map[string]*Record)
+		keep int64
+	)
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the final append was cut mid-line.
+			// Treat it as torn — keep stays at the last full line.
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("jobs: reading journal: %w", err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.validate() != nil {
+			break // corrupt line: everything from here on is the torn tail
+		}
+		keep += int64(len(line))
+		cp := rec
+		byID[rec.ID] = &cp
+	}
+	recs := make([]Record, 0, len(byID))
+	//affidavit:ordered records are sorted by Seq below before use
+	for _, rec := range byID {
+		recs = append(recs, *rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, keep, nil
+}
+
+// append writes one transition and fsyncs it — the durability point for
+// every state change.
+func (j *journal) append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("jobs: appending journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: syncing journal: %w", err)
+	}
+	j.lines++
+	return nil
+}
+
+// compact snapshots the live records into a fresh journal: write to a
+// temp file, fsync, rename over the old log. live must already be in Seq
+// order so a compacted journal replays identically to the log it
+// replaces.
+func (j *journal) compact(live []Record) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	for _, rec := range live {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("jobs: compacting journal: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("jobs: compacting journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("jobs: compacting journal: %w", err)
+	}
+	syncDir(dir)
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: reopening compacted journal: %w", err)
+	}
+	old.Close()
+	j.f = f
+	j.lines = 0
+	return nil
+}
+
+func (j *journal) close() error {
+	return j.f.Close()
+}

@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"time"
+)
+
+// Outcome is what a Runner hands back for one job execution.
+type Outcome struct {
+	// Body is the rendered result (stored verbatim; fetches are
+	// byte-identical across dedupe joiners).
+	Body []byte
+	// ContentType is Body's MIME type.
+	ContentType string
+	// Stats is the run's search statistics, pre-encoded (partial when
+	// Cancelled).
+	Stats []byte
+	// TraceID joins the job to its run trace.
+	TraceID string
+	// Cancelled reports the run's context ended mid-search and Body is
+	// absent; the pool inspects the context cause to decide between
+	// cancel, deadline and shutdown-requeue.
+	Cancelled bool
+}
+
+// Runner executes one job under ctx. rec is a snapshot of the job's
+// record; payload is the submission's non-durable state (nil when the
+// job was replayed from the journal — reconstruct from the blobs).
+// Returning an error wrapped by Transient makes the attempt retryable.
+type Runner func(ctx context.Context, rec Record, payload any) (*Outcome, error)
+
+// PoolOptions tunes the worker pool.
+type PoolOptions struct {
+	// Workers is the number of drain goroutines (0 = default 2). Jobs
+	// shard across workers by table hash, so all jobs for one table run
+	// on one worker in submission order — warm chains stay ordered and
+	// the table's dictionary pool stays hot.
+	Workers int
+	// MaxAttempts bounds runner executions per submission, first attempt
+	// included (0 = default 3).
+	MaxAttempts int
+	// Backoff is the base retry delay, doubled each further attempt
+	// (0 = default 250ms).
+	Backoff time.Duration
+	// Timeout bounds each attempt (0 = unlimited). Expiry fails the job
+	// with its partial statistics — deadline cuts are not retried.
+	Timeout time.Duration
+}
+
+// Pool drains the store through a Runner.
+type Pool struct {
+	store   *Store
+	run     Runner
+	opts    PoolOptions
+	cancel  context.CancelCauseFunc
+	done    chan struct{}
+	workers int
+}
+
+// NewPool builds a pool over st. Call Start to begin draining.
+func NewPool(st *Store, run Runner, opts PoolOptions) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 250 * time.Millisecond
+	}
+	return &Pool{store: st, run: run, opts: opts, workers: opts.Workers}
+}
+
+// Start launches the workers under ctx.
+func (p *Pool) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	p.cancel = cancel
+	done := make(chan struct{})
+	p.done = done
+	running := make(chan struct{}, p.workers)
+	for w := 0; w < p.workers; w++ {
+		running <- struct{}{}
+		go func(wid int) {
+			defer func() { <-running }()
+			p.worker(ctx, wid)
+		}(w)
+	}
+	go func() {
+		for i := 0; i < p.workers; i++ {
+			running <- struct{}{}
+		}
+		close(done)
+	}()
+}
+
+// Close stops the pool: running jobs see ErrShutdown as their context
+// cause, unwind, and are requeued (journaled back to pending), then
+// Close waits for every worker to exit. Close the store afterwards.
+func (p *Pool) Close() {
+	if p.cancel == nil {
+		return
+	}
+	p.cancel(ErrShutdown)
+	<-p.done
+}
+
+// worker drains jobs whose table hashes to wid until ctx ends.
+func (p *Pool) worker(ctx context.Context, wid int) {
+	for {
+		j, wait, wake := p.store.claimFor(wid, p.workers)
+		if j == nil {
+			if wait <= 0 {
+				wait = time.Hour // nothing scheduled: sleep until woken
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-wake:
+				t.Stop()
+			case <-t.C:
+			}
+			continue
+		}
+		p.runOne(ctx, j)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// runOne executes one claimed job and lands its terminal (or requeue /
+// retry) transition.
+func (p *Pool) runOne(ctx context.Context, j *Job) {
+	jctx, cancel := context.WithCancelCause(ctx)
+	tcancel := context.CancelFunc(func() {})
+	if p.opts.Timeout > 0 {
+		jctx, tcancel = context.WithTimeout(jctx, p.opts.Timeout)
+	}
+	defer tcancel()
+	defer cancel(nil)
+	rec, ok := p.store.startRun(j, cancel)
+	if !ok {
+		return // cancelled between claim and start
+	}
+	out, err := p.run(jctx, rec, p.store.payload(j))
+	cause := context.Cause(jctx)
+	interrupted := err != nil || out == nil || out.Cancelled
+	switch {
+	case interrupted && errors.Is(cause, ErrShutdown):
+		// Drain-on-shutdown: the journaled pending line lets the next
+		// process run pick the job back up.
+		p.store.requeue(j)
+	case err == nil && out != nil && !out.Cancelled:
+		p.store.complete(j, out)
+	case errors.Is(cause, ErrCancelRequested):
+		p.store.cancelDone(j, out)
+	case out != nil && out.Cancelled, errors.Is(cause, context.DeadlineExceeded):
+		// The job's own run budget cut it: terminal, with partial stats.
+		p.store.failDeadline(j, out)
+	case err != nil && IsTransient(err) && rec.Attempts < p.opts.MaxAttempts:
+		p.store.retry(j, err.Error(), p.backoffFor(rec.Attempts))
+	case err != nil:
+		p.store.fail(j, err.Error(), out)
+	default:
+		p.store.fail(j, "runner returned no outcome", nil)
+	}
+}
+
+// backoffFor doubles the base delay per completed attempt, capped at 30s.
+func (p *Pool) backoffFor(attempts int) time.Duration {
+	d := p.opts.Backoff
+	for i := 1; i < attempts && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// workerFor shards a table name onto a worker: FNV-1a so every process
+// routes a table to the same worker index for a given pool size.
+func workerFor(table string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(table))
+	return int(h.Sum32() % uint32(n))
+}

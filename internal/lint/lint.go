@@ -1,8 +1,9 @@
-// Package lint is affidavit's in-tree static-analysis suite: five
-// analyzers that machine-check the determinism, context and observer
-// invariants the reproduction depends on (every optimisation is pinned
-// byte-identical to the sequential in-memory reference — an unsorted map
-// iteration or a stray time.Now in a coded path silently breaks that).
+// Package lint is affidavit's in-tree static-analysis suite: analyzers
+// that machine-check the determinism, context and observer invariants the
+// reproduction depends on (every optimisation is pinned byte-identical to
+// the sequential in-memory reference — an unsorted map iteration or a
+// stray time.Now in a coded path silently breaks that), plus the
+// byte-stability contract of the durable job store's journal.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so a future migration to the real module is
@@ -107,6 +108,17 @@ func Suite() []*Analyzer {
 		ObsEvent,
 		AtomicStats,
 		ScratchReuse,
+		JobStore,
+	}
+}
+
+// orderedAnalyzers names the analyzers a bare //affidavit:ordered
+// directive covers: "this loop is order-insensitive" is a property of the
+// loop, not of whichever analyzer happens to guard the package.
+func orderedAnalyzers() map[string]bool {
+	return map[string]bool{
+		MapIter.Name:  true,
+		JobStore.Name: true,
 	}
 }
 
@@ -160,7 +172,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 type directive struct {
 	file      string
 	line      int
-	analyzer  string // "" = ordered shorthand (mapiter only)
+	analyzer  string // "" = ordered shorthand (any order analyzer)
 	justified bool
 }
 
@@ -185,11 +197,11 @@ func (ds directiveSet) covers(d Diagnostic) coverage {
 		if dir.line != d.Position.Line && dir.line != d.Position.Line-1 {
 			continue
 		}
-		name := dir.analyzer
-		if name == "" {
-			name = MapIter.Name
-		}
-		if name != d.Analyzer {
+		if dir.analyzer == "" {
+			if !orderedAnalyzers()[d.Analyzer] {
+				continue
+			}
+		} else if dir.analyzer != d.Analyzer {
 			continue
 		}
 		if dir.justified {

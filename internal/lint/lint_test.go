@@ -41,6 +41,15 @@ func TestScratchReuse(t *testing.T) {
 	linttest.Run(t, "testdata", "scratch", lint.ScratchReuse)
 }
 
+func TestJobStore(t *testing.T) {
+	linttest.Run(t, "testdata", "jobs", lint.JobStore)
+}
+
+func TestJobStoreOutOfScope(t *testing.T) {
+	// The same fixture under a different last path segment must be silent.
+	linttest.Run(t, "testdata", "notcritical", lint.JobStore)
+}
+
 func TestSuiteComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.Suite() {
@@ -52,7 +61,7 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats", "scratchreuse"} {
+	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats", "scratchreuse", "jobstore"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

@@ -181,8 +181,9 @@ type engine struct {
 	// Per-run spill accounting (nil without a budget): refinement grouping
 	// and end-state matching report here, and the totals surface as Stats
 	// fields and KindSpill events.
-	groupSpill *spill.Stats
-	matchSpill *spill.Stats
+	groupSpill   *spill.Stats
+	matchSpill   *spill.Stats
+	overlapSpill *spill.Stats
 }
 
 // done reports whether the run's context was cancelled. Checked once per

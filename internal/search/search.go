@@ -284,6 +284,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (res *Result, 
 	if opts.Spill.Active() {
 		e.groupSpill = &spill.Stats{}
 		e.matchSpill = &spill.Stats{}
+		e.overlapSpill = &spill.Stats{}
 	}
 	if opts.Workers > 1 {
 		// The polling goroutine participates in probe evaluation, so the
@@ -304,6 +305,7 @@ func Run(ctx context.Context, inst *delta.Instance, opts Options) (res *Result, 
 			component string
 			st        *spill.Stats
 		}{
+			{"overlap", e.overlapSpill},
 			{"blocking", e.groupSpill},
 			{"convert", e.matchSpill},
 		} {
@@ -527,7 +529,7 @@ func (e *engine) startStates(inst *delta.Instance, root *State) []*State {
 		})
 		return states
 	case StartOverlap:
-		ov := align.ComputeOverlap(inst, e.opts.MaxBlockSize)
+		ov := align.ComputeOverlapSpill(inst, e.opts.MaxBlockSize, e.opts.Spill, e.overlapSpill)
 		attrs := ov.StartAttrs(inst)
 		if len(attrs) == 0 {
 			return []*State{root}

@@ -80,7 +80,7 @@ type PollSummary struct {
 // ComponentSpill is one stage's out-of-core volume.
 type ComponentSpill struct {
 	// Component names the spilling stage: "ingest" (with Snapshot set),
-	// "blocking", "convert".
+	// "overlap", "blocking", "convert".
 	Component string `json:"component"`
 	// Snapshot is the ingest role for ingest spill ("source"/"target").
 	Snapshot   string `json:"snapshot,omitempty"`
@@ -95,7 +95,7 @@ type SpillSummary struct {
 	Partitions int64 `json:"partitions"`
 	// Components lists per-stage volumes in event order (which is
 	// deterministic for a fixed seed: ingest source, ingest target,
-	// blocking, convert).
+	// overlap, blocking, convert).
 	Components []ComponentSpill `json:"components,omitempty"`
 }
 
@@ -106,6 +106,9 @@ type RunTrace struct {
 	// Label is a caller-chosen tag: affidavitd stores the table name, the
 	// CLIs the snapshot file pair.
 	Label string `json:"label,omitempty"`
+	// JobID joins the trace to the async job that ran it, when affidavitd
+	// executed the run through its job queue.
+	JobID string `json:"job_id,omitempty"`
 	// StartedAt is the wall-clock time of the first observed event.
 	StartedAt time.Time `json:"started_at"`
 	// DurationMS is the wall time from the first event to the done event.
@@ -210,6 +213,13 @@ func NewRecorder(id string) *Recorder {
 func (r *Recorder) SetLabel(label string) {
 	r.mu.Lock()
 	r.t.Label = label
+	r.mu.Unlock()
+}
+
+// SetJobID joins the trace to a job id. Safe before or during the run.
+func (r *Recorder) SetJobID(id string) {
+	r.mu.Lock()
+	r.t.JobID = id
 	r.mu.Unlock()
 }
 
