@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"affidavit"
 	"affidavit/internal/jobs"
 )
 
@@ -218,7 +219,13 @@ func TestJobRestartDurability(t *testing.T) {
 		return hash
 	}
 	srcHash, tgtHash := writeBlob(src), writeBlob(tgt)
-	addr := jobs.Address("explain/v1", "t", "json", srcHash, tgtHash)
+	// The journaled address must match what the restarted server computes,
+	// fingerprint included — a config change would (correctly) miss it.
+	ex, err := affidavit.New(testOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := jobs.Address("explain/v2", ex.Fingerprint(), "t", "json", srcHash, tgtHash)
 	rec := jobs.Record{
 		ID:         addr[:32],
 		Addr:       addr,

@@ -1,0 +1,457 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"affidavit"
+)
+
+// registerTable POSTs /tables and returns the status code and body.
+func registerTable(t *testing.T, srv *httptest.Server, name string) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(struct {
+		Name string `json:"name"`
+	}{name})
+	resp, err := http.Post(srv.URL+"/tables", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// pushSnapshot POSTs one snapshot to /tables/{name}/snapshots and returns
+// the status code, body and response headers.
+func pushSnapshot(t *testing.T, srv *httptest.Server, name, csv string, fields map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("snapshot", "snapshot.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(fw, csv); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fields {
+		if err := mw.WriteField(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/tables/"+name+"/snapshots", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// TestCatalogChainByteIdentity is the acceptance check: pushing N
+// snapshots of a registered table yields an explanation chain
+// byte-identical to N−1 manual warm ExplainNext calls on the same pair
+// sequence (CI runs this under -race).
+func TestCatalogChainByteIdentity(t *testing.T) {
+	srv := testServer(t)
+	ch := testChain(t, 3)
+	csvs := make([]string, len(ch.Snapshots))
+	for i, snap := range ch.Snapshots {
+		csvs[i] = csvOf(t, snap)
+	}
+
+	if code, body := registerTable(t, srv, "bridges"); code != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", code, body)
+	}
+	code, body, _ := pushSnapshot(t, srv, "bridges", csvs[0], nil)
+	if code != http.StatusCreated {
+		t.Fatalf("first push: status %d: %s", code, body)
+	}
+	var chainBodies [][]byte
+	for _, csv := range csvs[1:] {
+		code, body, hdr := pushSnapshot(t, srv, "bridges", csv, nil)
+		if code != http.StatusOK {
+			t.Fatalf("push: status %d: %s", code, body)
+		}
+		if hdr.Get("X-Affidavit-Snapshot-Id") == "" || hdr.Get("X-Affidavit-Job-Id") == "" {
+			t.Fatal("push response missing lineage headers")
+		}
+		chainBodies = append(chainBodies, body)
+	}
+
+	// Reference: the same sequence as manual warm ExplainNext calls on a
+	// fresh explainer with the same options.
+	ex, err := affidavit.New(testOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base, err := ex.ReadSource(ctx, affidavit.NewCSVSource(strings.NewReader(csvs[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ex.Session(base)
+	for i, csv := range csvs[1:] {
+		next, err := ex.ReadSource(ctx, affidavit.NewCSVSource(strings.NewReader(csv)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.ExplainNextContext(ctx, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.MarshalIndent(res.JSONResult("bridges"), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(chainBodies[i], want) {
+			t.Errorf("chain step %d differs from the manual warm ExplainNext reference", i+1)
+		}
+	}
+
+	// The stored chain serves the same bytes through the job result store.
+	var hist struct {
+		Steps []struct {
+			Status string `json:"status"`
+			Result string `json:"result"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tables/bridges/history")), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Steps) != len(chainBodies) {
+		t.Fatalf("history has %d steps, want %d", len(hist.Steps), len(chainBodies))
+	}
+	for i, step := range hist.Steps {
+		if step.Status != "explained" {
+			t.Errorf("step %d status %q, want explained", i, step.Status)
+		}
+		if stored := get(t, srv.URL+step.Result); stored != string(chainBodies[i]) {
+			t.Errorf("step %d stored result differs from the push response", i)
+		}
+	}
+}
+
+// TestCatalogEmptyAndSingle covers the degenerate chains: a freshly
+// registered table (no snapshots) and a single-snapshot table must serve
+// valid, empty-not-null history and trends.
+func TestCatalogEmptyAndSingle(t *testing.T) {
+	srv := testServer(t)
+	if code, body := registerTable(t, srv, "fresh"); code != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", code, body)
+	}
+
+	hist := get(t, srv.URL+"/tables/fresh/history")
+	if !strings.Contains(hist, `"snapshots": []`) || !strings.Contains(hist, `"steps": []`) {
+		t.Errorf("empty history should encode empty arrays, got:\n%s", hist)
+	}
+	trends := get(t, srv.URL+"/tables/fresh/trends")
+	var tr struct {
+		Snapshots   int `json:"snapshots"`
+		Compression struct {
+			Trajectory []float64 `json:"trajectory"`
+		} `json:"compression"`
+	}
+	if err := json.Unmarshal([]byte(trends), &tr); err != nil {
+		t.Fatalf("empty trends: %v in:\n%s", err, trends)
+	}
+	if tr.Snapshots != 0 || len(tr.Compression.Trajectory) != 0 {
+		t.Errorf("empty trends = %s", trends)
+	}
+
+	code, body, _ := pushSnapshot(t, srv, "fresh", "id,v\na,1\nb,2\n", map[string]string{"op": "seed"})
+	if code != http.StatusCreated {
+		t.Fatalf("single push: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tables/fresh/trends")), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Snapshots != 1 || len(tr.Compression.Trajectory) != 0 {
+		t.Errorf("single-snapshot trends: snapshots=%d trajectory=%v", tr.Snapshots, tr.Compression.Trajectory)
+	}
+	hist = get(t, srv.URL+"/tables/fresh/history")
+	if !strings.Contains(hist, `"op": "seed"`) {
+		t.Errorf("history should carry the op tag, got:\n%s", hist)
+	}
+}
+
+// TestCatalogSchemaChangeMidChain: a pushed snapshot whose schema differs
+// from its parent refuses the explanation with a clear error, and the
+// chain continues from the new schema — the next compatible push is
+// explained again.
+func TestCatalogSchemaChangeMidChain(t *testing.T) {
+	srv := testServer(t)
+	if code, _ := registerTable(t, srv, "evolving"); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	pushOK := func(csv string, wantCode int) []byte {
+		t.Helper()
+		code, body, _ := pushSnapshot(t, srv, "evolving", csv, nil)
+		if code != wantCode {
+			t.Fatalf("push: status %d, want %d: %s", code, wantCode, body)
+		}
+		return body
+	}
+	pushOK("id,city\na,berlin\nb,mannheim\n", http.StatusCreated)
+	pushOK("id,city\na,BERLIN\nb,MANNHEIM\n", http.StatusOK)
+	// Schema change: the sync push reports the refusal.
+	body := pushOK("id,city,zip\na,BERLIN,10115\nb,MANNHEIM,68159\n", http.StatusUnprocessableEntity)
+	if !strings.Contains(string(body), "schema changed") || !strings.Contains(string(body), "chain continues") {
+		t.Errorf("schema-change error not clear: %s", body)
+	}
+	// The chain continues from the new schema.
+	pushOK("id,city,zip\na,BERLIN,10115\nb,MANNHEIM,68161\n", http.StatusOK)
+
+	var hist struct {
+		Steps []struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tables/evolving/history")), &hist); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"explained", "failed", "explained"}
+	if len(hist.Steps) != len(want) {
+		t.Fatalf("history has %d steps, want %d", len(hist.Steps), len(want))
+	}
+	for i, step := range hist.Steps {
+		if step.Status != want[i] {
+			t.Errorf("step %d status %q, want %q", i, step.Status, want[i])
+		}
+	}
+	if !strings.Contains(hist.Steps[1].Error, "schema changed") {
+		t.Errorf("failed step error = %q", hist.Steps[1].Error)
+	}
+
+	var tr struct {
+		StepsFailed int `json:"steps_failed"`
+		Steps       []struct {
+			SchemaChange bool `json:"schema_change"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tables/evolving/trends")), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.StepsFailed != 1 || !tr.Steps[1].SchemaChange {
+		t.Errorf("trends should mark the schema change: %+v", tr)
+	}
+}
+
+// TestCatalogRestartByteStability: /history and /trends must serve
+// byte-identical JSON before and after a restart — every field replays
+// from the catalog and job journals, none re-derives from the clock.
+func TestCatalogRestartByteStability(t *testing.T) {
+	dir := t.TempDir()
+	s := mustServer(t, serverConfig{options: testOptions(), jobsDir: dir})
+	srv := httptest.NewServer(s.handler())
+	ch := testChain(t, 2)
+
+	if code, _ := registerTable(t, srv, "durable"); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	for i, snap := range ch.Snapshots {
+		wantCode := http.StatusOK
+		if i == 0 {
+			wantCode = http.StatusCreated
+		}
+		code, body, _ := pushSnapshot(t, srv, "durable", csvOf(t, snap), nil)
+		if code != wantCode {
+			t.Fatalf("push %d: status %d: %s", i, code, body)
+		}
+	}
+	histBefore := get(t, srv.URL+"/tables/durable/history")
+	trendsBefore := get(t, srv.URL+"/tables/durable/trends")
+	tablesBefore := get(t, srv.URL+"/tables")
+	srv.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustServer(t, serverConfig{options: testOptions(), jobsDir: dir})
+	t.Cleanup(func() { s2.Close() })
+	srv2 := httptest.NewServer(s2.handler())
+	t.Cleanup(srv2.Close)
+	if got := get(t, srv2.URL+"/tables/durable/history"); got != histBefore {
+		t.Errorf("history changed across restart:\nbefore:\n%s\nafter:\n%s", histBefore, got)
+	}
+	if got := get(t, srv2.URL+"/tables/durable/trends"); got != trendsBefore {
+		t.Errorf("trends changed across restart:\nbefore:\n%s\nafter:\n%s", trendsBefore, got)
+	}
+	if got := get(t, srv2.URL+"/tables"); got != tablesBefore {
+		t.Errorf("table listing changed across restart:\nbefore:\n%s\nafter:\n%s", tablesBefore, got)
+	}
+}
+
+// TestCatalogAsyncPush: async=1 answers 202 with the job id; the step
+// lands in the background and the history converges to explained.
+func TestCatalogAsyncPush(t *testing.T) {
+	srv := testServer(t)
+	if code, _ := registerTable(t, srv, "async"); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	if code, body, _ := pushSnapshot(t, srv, "async", "id,v\na,1\nb,2\n", nil); code != http.StatusCreated {
+		t.Fatalf("first push: status %d: %s", code, body)
+	}
+	code, body, hdr := pushSnapshot(t, srv, "async", "id,v\na,2\nb,3\n", map[string]string{"async": "1"})
+	if code != http.StatusAccepted {
+		t.Fatalf("async push: status %d: %s", code, body)
+	}
+	jobID := hdr.Get("X-Affidavit-Job-Id")
+	if jobID == "" {
+		t.Fatal("async push missing X-Affidavit-Job-Id")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var view jobView
+		if err := json.Unmarshal([]byte(get(t, srv.URL+"/jobs/"+jobID)), &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.State == "completed" {
+			if view.Kind != "catalog" || view.SnapshotID == "" || view.ParentID == "" {
+				t.Errorf("job view missing lineage: %+v", view)
+			}
+			break
+		}
+		if view.State == "error" || view.State == "cancelled" {
+			t.Fatalf("async step ended %s: %s", view.State, view.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async step stuck in %s", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hist := get(t, srv.URL+"/tables/async/history")
+	if !strings.Contains(hist, `"status": "explained"`) {
+		t.Errorf("async step not explained in history:\n%s", hist)
+	}
+}
+
+// TestCatalogValidation: the error surface — bad names, duplicate
+// registration, pushes to unknown tables, malformed pushes.
+func TestCatalogValidation(t *testing.T) {
+	srv := testServer(t)
+	if code, _ := registerTable(t, srv, "../evil"); code != http.StatusBadRequest {
+		t.Errorf("bad name: status %d, want 400", code)
+	}
+	if code, _ := registerTable(t, srv, "dup"); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	if code, _ := registerTable(t, srv, "dup"); code != http.StatusConflict {
+		t.Errorf("duplicate registration: status %d, want 409", code)
+	}
+	if code, _, _ := pushSnapshot(t, srv, "ghost", "id,v\na,1\n", nil); code != http.StatusNotFound {
+		t.Errorf("push to unknown table: status %d, want 404", code)
+	}
+	// A push without the snapshot part is a 400.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("op", "oops")
+	mw.Close()
+	resp, err := http.Post(srv.URL+"/tables/dup/snapshots", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing snapshot part: status %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(srv.URL + "/tables/ghost/history"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("history of unknown table: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestEngineFingerprintAddresses: the same pair submitted under different
+// engine options must compute under different job identities — a config
+// change stops serving results computed under old flags.
+func TestEngineFingerprintAddresses(t *testing.T) {
+	ch := testChain(t, 1)
+	src, tgt := csvOf(t, ch.Snapshots[0]), csvOf(t, ch.Snapshots[1])
+
+	jobIDOf := func(opts ...affidavit.Option) string {
+		t.Helper()
+		s := mustServer(t, serverConfig{options: opts})
+		t.Cleanup(func() { s.Close() })
+		srv := httptest.NewServer(s.handler())
+		t.Cleanup(srv.Close)
+		ctype, body := multipartBody(t, src, tgt, map[string]string{"table": "t"})
+		resp, err := http.Post(srv.URL+"/explain", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("explain: status %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Affidavit-Job-Id")
+	}
+
+	base := jobIDOf(affidavit.WithSeed(31))
+	same := jobIDOf(affidavit.WithSeed(31))
+	reseeded := jobIDOf(affidavit.WithSeed(32))
+	retuned := jobIDOf(affidavit.WithSeed(31), affidavit.WithAlpha(0.3))
+	if base != same {
+		t.Errorf("identical configs produced different job ids: %s vs %s", base, same)
+	}
+	if base == reseeded {
+		t.Error("seed change did not change the job identity")
+	}
+	if base == retuned {
+		t.Error("alpha change did not change the job identity")
+	}
+}
+
+// catalogMetricsSmoke asserts the affidavit_catalog_* rows appear.
+func TestCatalogMetrics(t *testing.T) {
+	srv := testServer(t)
+	if code, _ := registerTable(t, srv, "metered"); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	if code, _, _ := pushSnapshot(t, srv, "metered", "id,v\na,1\n", nil); code != http.StatusCreated {
+		t.Fatal("push failed")
+	}
+	metrics := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"affidavit_catalog_tables 1",
+		"affidavit_catalog_snapshots 1",
+		"affidavit_catalog_steps_pending 0",
+		"affidavit_catalog_steps_explained 0",
+		"affidavit_catalog_steps_failed 0",
+		"affidavit_catalog_schema_resets_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	stats := get(t, srv.URL+"/stats")
+	var st statsResponse
+	if err := json.Unmarshal([]byte(stats), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Catalog.Tables != 1 || st.Catalog.Snapshots != 1 {
+		t.Errorf("stats catalog section = %+v", st.Catalog)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"affidavit"
+	"affidavit/internal/catalog"
 	"affidavit/internal/jobs"
 )
 
@@ -32,6 +33,9 @@ type jobPayload struct {
 // Blob-store I/O failures are transient (retried with backoff); explain
 // errors such as schema mismatches are permanent.
 func (s *server) runJob(ctx context.Context, rec jobs.Record, payload any) (*jobs.Outcome, error) {
+	if rec.Kind == catalog.JobKind {
+		return s.runCatalogStep(ctx, rec, payload)
+	}
 	var src, tgt *affidavit.Table
 	var trec *affidavit.TraceRecorder
 	if p, ok := payload.(*jobPayload); ok && p != nil {
@@ -127,6 +131,9 @@ type jobView struct {
 	Table       string          `json:"table,omitempty"`
 	Format      string          `json:"format,omitempty"`
 	Warm        bool            `json:"warm,omitempty"`
+	Kind        string          `json:"kind,omitempty"`
+	SnapshotID  string          `json:"snapshot_id,omitempty"`
+	ParentID    string          `json:"parent_id,omitempty"`
 	Attempts    int             `json:"attempts,omitempty"`
 	Requeues    int             `json:"requeues,omitempty"`
 	DedupeHits  int64           `json:"dedupe_hits,omitempty"`
@@ -145,6 +152,9 @@ func viewOf(rec jobs.Record) jobView {
 		Table:       rec.Table,
 		Format:      rec.Format,
 		Warm:        rec.Warm,
+		Kind:        rec.Kind,
+		SnapshotID:  rec.SnapshotID,
+		ParentID:    rec.ParentID,
 		Attempts:    rec.Attempts,
 		Requeues:    rec.Requeues,
 		DedupeHits:  rec.DedupeHits,
@@ -336,6 +346,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", row.name, row.help, row.name, row.typ, row.name, row.value)
 	}
+	s.writeCatalogMetrics(w)
 }
 
 // jobsStats is the /stats job section.

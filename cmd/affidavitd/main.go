@@ -31,6 +31,28 @@
 //	                   202 Accepted with the job id instead of waiting).
 //	                   Every response carries X-Affidavit-Job-Id and, when
 //	                   tracing is on, X-Affidavit-Trace-Id.
+//	POST /tables       register a table in the snapshot-history catalog
+//	                   (JSON body {"name": ...} or ?name=)
+//	GET  /tables       registered tables in registration order
+//	GET  /tables/{name}  one table's registration + snapshot lineage
+//	POST /tables/{name}/snapshots  push the table's next snapshot
+//	                   (multipart file "snapshot", CSV with header row;
+//	                   optional values "op" — an operation tag journaled
+//	                   into the lineage — and "async" = "1"). The first
+//	                   push seeds the chain; every later push runs an
+//	                   explanation of the previous→new pair on the table's
+//	                   warm session through the job queue, so the stored
+//	                   chain is byte-identical to manual warm ExplainNext
+//	                   calls over the same sequence. Responses carry
+//	                   X-Affidavit-Snapshot-Id (and X-Affidavit-Job-Id
+//	                   when a step was queued).
+//	GET  /tables/{name}/history  the drift timeline: snapshots with
+//	                   lineage (ids, parent ids, content addresses, op
+//	                   tags, timestamps) and per-step explanation
+//	                   summaries; byte-stable across restarts
+//	GET  /tables/{name}/trends  drift analytics over the chain: attribute
+//	                   churn, update/insert/delete mix per step and in
+//	                   total, compression-ratio trajectory
 //	GET  /jobs         every job in submission order (deterministic)
 //	GET  /jobs/{id}    one job's status, attempts, stats and trace id
 //	GET  /jobs/{id}/result  the stored result bytes (byte-identical for
@@ -62,6 +84,10 @@
 //	-job-retry     attempts per job, first run included; only transient
 //	               failures (blob-store I/O) retry, with doubling backoff
 //	               (default 3)
+//	-catalog-dir   root of the snapshot-history catalog journal; empty
+//	               defaults to <jobs-dir>/catalog when -jobs-dir is set,
+//	               else the catalog is in-memory (same chain semantics,
+//	               no crash durability)
 //	-timeout       per-job explanation budget; on expiry the job fails
 //	               terminally and a sync waiter answers 503 with the
 //	               partial search statistics
@@ -117,6 +143,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "concurrent /explain requests (0 = unlimited)")
 		timeout     = flag.Duration("timeout", 0, "per-job explanation budget (0 = unlimited; expiry answers 503 with partial stats)")
 		jobsDir     = flag.String("jobs-dir", "", "durable job state root: JSONL journal, upload blobs, result store (empty = in-memory queue)")
+		catalogDir  = flag.String("catalog-dir", "", "snapshot-history catalog journal root (empty = <jobs-dir>/catalog, or in-memory without -jobs-dir)")
 		jobWorkers  = flag.Int("job-workers", 0, "queue-draining workers; jobs shard by table hash (0 = default 2)")
 		jobRetry    = flag.Int("job-retry", 0, "attempts per job incl. the first; transient failures retry with doubling backoff (0 = default 3)")
 		maxSessions = flag.Int("max-sessions", 0, "retained per-table sessions (0 = unlimited; excess evicts least-recently-used)")
@@ -153,6 +180,7 @@ func main() {
 		jobsDir:          *jobsDir,
 		jobWorkers:       *jobWorkers,
 		jobRetry:         *jobRetry,
+		catalogDir:       *catalogDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "affidavitd:", err)

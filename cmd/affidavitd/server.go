@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"affidavit"
+	"affidavit/internal/catalog"
 	"affidavit/internal/jobs"
 )
 
@@ -88,6 +90,10 @@ type serverConfig struct {
 	// jobBackoff is the base retry delay, doubled per attempt (0 = the
 	// pool default). Tests shrink it.
 	jobBackoff time.Duration
+	// catalogDir roots the snapshot-history catalog journal (-catalog-dir).
+	// Empty defaults to <jobs-dir>/catalog when -jobs-dir is set, else an
+	// in-memory catalog (same chain semantics, no crash durability).
+	catalogDir string
 	// now is the clock; nil means time.Now. Tests inject a fake. It paces
 	// session eviction only — the job store keeps its own wall clock, so
 	// fake-clock tests do not race with queue backoff arithmetic.
@@ -119,6 +125,16 @@ type server struct {
 	// goes through them, so both paths share dedupe and accounting.
 	store *jobs.Store
 	pool  *jobs.Pool
+
+	// catalog is the snapshot-history surface under /tables: registered
+	// tables, pushed snapshot lineage, and the explanation chain computed
+	// over each adjacent pair (chain steps run as jobs on pool).
+	catalog *catalog.Service
+
+	// engineFP is the Explainer's result-affecting option fingerprint,
+	// folded into every explain job's content address so a configuration
+	// change stops serving results computed under old flags.
+	engineFP string
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -179,6 +195,26 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	s.store = store
+	s.engineFP = ex.Fingerprint()
+	// The catalog must exist before the pool starts: a replayed journal
+	// can hold pending catalog steps, and runJob dispatches those to it.
+	catDir := cfg.catalogDir
+	if catDir == "" && cfg.jobsDir != "" {
+		catDir = filepath.Join(cfg.jobsDir, "catalog")
+	}
+	cat, err := catalog.NewService(catalog.Config{
+		Dir:              catDir,
+		Explainer:        ex,
+		Jobs:             store,
+		MaxRecords:       cfg.maxRecords,
+		MaxSnapshotBytes: cfg.maxSnapshotBytes,
+		Now:              cfg.now,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.catalog = cat
 	s.pool = jobs.NewPool(store, s.runJob, jobs.PoolOptions{
 		Workers:     cfg.jobWorkers,
 		MaxAttempts: cfg.jobRetry,
@@ -190,11 +226,16 @@ func newServer(cfg serverConfig) (*server, error) {
 }
 
 // Close drains the worker pool (running jobs are journaled back to
-// pending — drain-on-shutdown persists the queue) and then closes the
-// store, releasing any sync waiters.
+// pending — drain-on-shutdown persists the queue), closes the catalog
+// journal (no step finishes after the pool is drained), and then closes
+// the store, releasing any sync waiters.
 func (s *server) Close() error {
 	s.pool.Close()
-	return s.store.Close()
+	cerr := s.catalog.Close()
+	if serr := s.store.Close(); serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // session returns the named table's session, creating it on first use and
@@ -274,6 +315,8 @@ func (s *server) janitor(ctx context.Context) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.Handle("/tables", s.catalog)
+	mux.Handle("/tables/", s.catalog)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -631,9 +674,11 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if !warm {
 		// The content address: canonicalized upload hashes plus every
-		// option the result bytes depend on. Warm jobs depend on session
-		// history too, so they never dedupe (empty address).
-		spec.Addr = jobs.Address("explain/v1", table, format, up.srcHash, up.tgtHash)
+		// option the result bytes depend on — including the engine-option
+		// fingerprint, so restarting with different flags stops serving
+		// results computed under the old configuration. Warm jobs depend on
+		// session history too, so they never dedupe (empty address).
+		spec.Addr = jobs.Address("explain/v2", s.engineFP, table, format, up.srcHash, up.tgtHash)
 	}
 	job, _, err := s.store.Submit(spec)
 	if err != nil {
@@ -676,6 +721,9 @@ type statsResponse struct {
 	// Jobs mirrors /metrics' affidavit_jobs_* series: queue depth,
 	// running, and the lifetime submission/dedupe/outcome counters.
 	Jobs jobsStats `json:"jobs"`
+	// Catalog mirrors /metrics' affidavit_catalog_* series: registered
+	// tables, stored snapshots, and chain steps by status.
+	Catalog catalogStats `json:"catalog"`
 	// Out-of-core totals under -mem-budget (mirrors /metrics'
 	// affidavit_spill_bytes_total / affidavit_spill_partitions_total).
 	SpillBytes      int64 `json:"spill_bytes_total"`
@@ -716,6 +764,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tables:          out,
 		SessionsEvicted: evicted,
 		Jobs:            s.jobsStats(),
+		Catalog:         s.catalogStats(),
 		SpillBytes:      spillBytes,
 		SpillPartitions: spillParts,
 	}); err != nil {

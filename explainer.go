@@ -2,6 +2,8 @@ package affidavit
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 
@@ -175,6 +177,29 @@ func FromOptions(o Options) Option {
 		e.so = o.toSearch()
 		e.metas = append(metafunc.DefaultMetas(), o.ExtraMetas...)
 	}
+}
+
+// Fingerprint digests every result-affecting engine option — α, β, the
+// queue width ϱ, the start strategy, the overlap block threshold, the
+// induction configuration (θ, ρ and its caps), the sampling seed and the
+// expansion cap — plus the installed meta-function families, into a
+// 16-hex-character identity. Two Explainers with equal fingerprints
+// produce byte-identical explanations for identical inputs; byte-neutral
+// knobs (workers, memory budget, observers, tracing, warm-only guards)
+// are deliberately excluded. affidavitd folds the fingerprint into the
+// job content address, so a configuration change stops serving results
+// computed under the old flags.
+func (e *Explainer) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "alpha=%g beta=%d width=%d start=%d maxblock=%d theta=%g conf=%g mingen=%d maxranked=%d maxsrc=%d seed=%d maxexp=%d",
+		e.so.Alpha, e.so.Beta, e.so.QueueWidth, e.so.Start, e.so.MaxBlockSize,
+		e.so.Induce.Theta, e.so.Induce.Rho, e.so.Induce.MinGenerated,
+		e.so.Induce.MaxRanked, e.so.Induce.MaxSourceValuesPerBlock,
+		e.so.Seed, e.so.MaxExpansions)
+	for _, m := range e.metas {
+		fmt.Fprintf(h, " meta=%s", m.Name())
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // searchOptions returns the per-run search configuration, wiring the

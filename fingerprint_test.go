@@ -1,0 +1,50 @@
+package affidavit
+
+import "testing"
+
+// TestFingerprint pins the engine-option fingerprint's contract: stable
+// across instances with equal options, sensitive to every
+// result-affecting knob, and blind to byte-neutral ones.
+func TestFingerprint(t *testing.T) {
+	mk := func(opts ...Option) string {
+		t.Helper()
+		ex, err := New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex.Fingerprint()
+	}
+	base := mk(WithSeed(31))
+	if len(base) != 16 {
+		t.Fatalf("fingerprint %q, want 16 hex chars", base)
+	}
+	if again := mk(WithSeed(31)); again != base {
+		t.Errorf("equal options, different fingerprints: %s vs %s", base, again)
+	}
+	// Result-affecting knobs must change the fingerprint.
+	for name, fp := range map[string]string{
+		"seed":       mk(WithSeed(32)),
+		"alpha":      mk(WithSeed(31), WithAlpha(0.3)),
+		"beta":       mk(WithSeed(31), WithBeta(3)),
+		"width":      mk(WithSeed(31), WithQueueWidth(9)),
+		"start":      mk(WithSeed(31), WithOverlapConfig()),
+		"theta":      mk(WithSeed(31), WithTheta(0.2)),
+		"rho":        mk(WithSeed(31), WithRho(0.9)),
+		"expansions": mk(WithSeed(31), WithMaxExpansions(100)),
+	} {
+		if fp == base {
+			t.Errorf("%s change did not move the fingerprint", name)
+		}
+	}
+	// Byte-neutral knobs must not: the parallel engine and memory budgets
+	// are pinned byte-identical to the defaults.
+	for name, fp := range map[string]string{
+		"workers": mk(WithSeed(31), WithWorkers(8)),
+		"budget":  mk(WithSeed(31), WithMemBudget(1<<30)),
+		"tracing": mk(WithSeed(31), WithTracing()),
+	} {
+		if fp != base {
+			t.Errorf("byte-neutral knob %s moved the fingerprint", name)
+		}
+	}
+}

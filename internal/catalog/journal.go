@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// journal is the catalog's append-only JSONL log, sharing the job
+// journal's durability idioms: one full Record per line, fsync on every
+// append, last line per key wins on replay, and a torn final line (power
+// cut mid-write) is truncated away on open rather than poisoning the
+// store. Unlike the job journal it never compacts — catalog records are
+// lineage facts, each written once (snapshots) or twice (steps), so the
+// log is bounded by the real history it stores.
+type journal struct {
+	path string
+	f    *os.File
+}
+
+// openCatalogJournal opens (creating if needed) the journal at path and
+// replays it. The returned records are the live set — one per key, last
+// line wins — ordered by Seq.
+func openCatalogJournal(path string) (*journal, []Record, error) {
+	recs, keep, err := replayCatalogJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop a torn or corrupt tail before reopening for append: everything
+	// past the last decodable line is garbage from an interrupted write.
+	if fi, statErr := os.Stat(path); statErr == nil && fi.Size() > keep {
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, nil, fmt.Errorf("catalog: truncating journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("catalog: opening journal: %w", err)
+	}
+	return &journal{path: path, f: f}, recs, nil
+}
+
+// replayCatalogJournal decodes path line by line. It returns the live
+// records (last line per key, ordered by Seq) and the byte length of the
+// valid prefix; decoding stops at the first corrupt line. A missing file
+// replays empty.
+func replayCatalogJournal(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: opening journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		byKey = make(map[string]*Record)
+		keep  int64
+	)
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the final append was cut mid-line.
+			// Treat it as torn — keep stays at the last full line.
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("catalog: reading journal: %w", err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.validate() != nil {
+			break // corrupt line: everything from here on is the torn tail
+		}
+		keep += int64(len(line))
+		cp := rec
+		byKey[rec.key()] = &cp
+	}
+	recs := make([]Record, 0, len(byKey))
+	//affidavit:ordered records are sorted by Seq below before use
+	for _, rec := range byKey {
+		recs = append(recs, *rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, keep, nil
+}
+
+// append writes one record and fsyncs it — the durability point for
+// every catalog mutation.
+func (j *journal) append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("catalog: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("catalog: appending journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("catalog: syncing journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	return j.f.Close()
+}

@@ -1,0 +1,57 @@
+package catalog
+
+import (
+	"affidavit"
+)
+
+// summarizeStep compresses one chain step's explanation into the summary
+// journaled with the step: the core/insert/delete mix, how many core
+// records actually changed, per-attribute churn for every non-identity
+// function, and the MDL compression achieved. Everything here derives
+// from the deterministic explanation, so the journaled summary is as
+// byte-stable as the explanation itself.
+func summarizeStep(res *affidavit.Result) *StepSummary {
+	e := res.Explanation
+	jr := res.JSONResult("")
+	attrs := len(jr.Explanation.Schema)
+	changedPerAttr := make([]int, attrs)
+	updates := 0
+	src, tgt := e.Inst.Source, e.Inst.Target
+	for i := range e.CoreSrc {
+		si, ti := e.CoreSrc[i], e.CoreTgt[i]
+		rowChanged := false
+		for a := 0; a < attrs; a++ {
+			if src.Value(si, a) != tgt.Value(ti, a) {
+				changedPerAttr[a]++
+				rowChanged = true
+			}
+		}
+		if rowChanged {
+			updates++
+		}
+	}
+	sum := &StepSummary{
+		Records:       tgt.Len(),
+		Core:          len(e.CoreSrc),
+		Updates:       updates,
+		Inserts:       len(e.Inserted),
+		Deletes:       len(e.Deleted),
+		Cost:          jr.Cost,
+		TrivialCost:   jr.TrivialCost,
+		Compression:   jr.Compression,
+		Polls:         res.Stats.Polls,
+		WarmEscalated: res.Stats.WarmEscalated,
+	}
+	for a, f := range jr.Explanation.Functions {
+		if f.Kind == "identity" {
+			continue
+		}
+		sum.Functions = append(sum.Functions, StepFunction{
+			Attribute: f.Attribute,
+			Kind:      f.Kind,
+			Display:   f.Display,
+			Updated:   changedPerAttr[a],
+		})
+	}
+	return sum
+}

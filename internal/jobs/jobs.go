@@ -70,6 +70,14 @@ type Record struct {
 	// explanation). Warm results depend on session history, so warm jobs
 	// are never deduped or served from cache.
 	Warm bool `json:"warm,omitempty"`
+	// Kind tags non-/explain jobs so the runner can dispatch them (e.g.
+	// "catalog" for snapshot-catalog chain steps); empty means a plain
+	// explain job. Old journals decode with the zero value.
+	Kind string `json:"kind,omitempty"`
+	// SnapshotID/ParentID carry catalog lineage: the pushed snapshot this
+	// step explains and the chain parent it explains it against.
+	SnapshotID string `json:"snapshot_id,omitempty"`
+	ParentID   string `json:"parent_id,omitempty"`
 	// SourceBlob/TargetBlob address the canonicalized uploads in the blob
 	// store, so a requeued job can re-ingest after a crash.
 	SourceBlob string `json:"source_blob,omitempty"`

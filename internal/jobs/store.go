@@ -88,6 +88,10 @@ type Spec struct {
 	Table  string
 	Format string
 	Warm   bool
+	// Kind tags non-/explain jobs for runner dispatch ("" = explain).
+	Kind string
+	// SnapshotID/ParentID carry catalog lineage through the journal.
+	SnapshotID, ParentID string
 	// SourceBlob/TargetBlob address the canonical uploads in Blobs().
 	SourceBlob, TargetBlob string
 	// Payload is non-durable run state handed to the Runner (the daemon
@@ -238,6 +242,9 @@ func (s *Store) Submit(spec Spec) (*Job, bool, error) {
 			Table:      spec.Table,
 			Format:     spec.Format,
 			Warm:       spec.Warm,
+			Kind:       spec.Kind,
+			SnapshotID: spec.SnapshotID,
+			ParentID:   spec.ParentID,
 			SourceBlob: spec.SourceBlob,
 			TargetBlob: spec.TargetBlob,
 			State:      StatePending,

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// docScope names the packages whose exported surface is the repo's public
+// API: the root affidavit package (the library entry point) and the
+// snapshot-history catalog. Internal pipeline packages churn too fast to
+// hold to the same bar; the public surface is the contract users read via
+// godoc, so every exported symbol there must explain itself.
+var docScope = map[string]bool{
+	"affidavit": true,
+	"catalog":   true,
+}
+
+// DocComment reports exported top-level symbols in the public packages
+// that lack a doc comment. Functions and methods need a comment on the
+// declaration (methods only when the receiver type is itself exported);
+// grouped type/var/const declarations are satisfied by either a comment
+// on the group or one on the individual spec.
+var DocComment = &Analyzer{
+	Name: "doccomment",
+	Doc: "flags exported symbols without doc comments in the public " +
+		"packages (the root affidavit package and internal/catalog), " +
+		"whose godoc is the API contract",
+	Run: runDocComment,
+}
+
+func runDocComment(pass *Pass) {
+	if !inScope(pass.Pkg.Path(), docScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkDocFunc(pass, d)
+			case *ast.GenDecl:
+				checkDocGen(pass, d)
+			}
+		}
+	}
+}
+
+// checkDocFunc flags exported functions and methods of exported receiver
+// types that carry no doc comment.
+func checkDocFunc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return // a method on an unexported type is not public API
+		}
+		kind = "method"
+	}
+	pass.Report(d.Name.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+}
+
+// checkDocGen flags exported names in type/var/const declarations where
+// neither the group nor the spec carries a doc comment.
+func checkDocGen(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				pass.Report(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil {
+				continue
+			}
+			kind := "var"
+			if d.Tok.String() == "const" {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Report(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName extracts the receiver's type name, unwrapping pointers
+// and generic instantiations.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

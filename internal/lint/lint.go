@@ -109,6 +109,7 @@ func Suite() []*Analyzer {
 		AtomicStats,
 		ScratchReuse,
 		JobStore,
+		DocComment,
 	}
 }
 

@@ -50,6 +50,15 @@ func TestJobStoreOutOfScope(t *testing.T) {
 	linttest.Run(t, "testdata", "notcritical", lint.JobStore)
 }
 
+func TestDocComment(t *testing.T) {
+	linttest.Run(t, "testdata", "affidavit", lint.DocComment)
+}
+
+func TestDocCommentOutOfScope(t *testing.T) {
+	// Internal pipeline packages are not held to the public-API doc bar.
+	linttest.Run(t, "testdata", "notcritical", lint.DocComment)
+}
+
 func TestSuiteComplete(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.Suite() {
@@ -61,7 +70,7 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats", "scratchreuse", "jobstore"} {
+	for _, want := range []string{"mapiter", "nondet", "ctxflow", "obsevent", "atomicstats", "scratchreuse", "jobstore", "doccomment"} {
 		if !names[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

@@ -1,0 +1,64 @@
+// Package affidavit is a doccomment fixture: the package path's last
+// segment is "affidavit", so the analyzer holds it to the public-API
+// documentation bar.
+package affidavit
+
+// Documented is fine: the type carries a doc comment.
+type Documented struct{}
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+type hidden struct{}
+
+// Explain is fine.
+func (d *Documented) Explain() {}
+
+func (d *Documented) Chain() {} // want "exported method Chain has no doc comment"
+
+// Methods on unexported types are not public API, documented or not.
+func (h hidden) Run() {}
+
+func (h hidden) Stop() {}
+
+// New is fine.
+func New() *Documented { return nil }
+
+func Open() *Documented { return nil } // want "exported function Open has no doc comment"
+
+func internalHelper() {}
+
+// MaxDepth is fine: the decl comment covers the single spec.
+const MaxDepth = 8
+
+const DefaultWidth = 5 // want "exported const DefaultWidth has no doc comment"
+
+// Grouped constants are covered by the group comment.
+const (
+	ModeSeq = iota
+	ModePar
+)
+
+const (
+	// KindLinear is fine: a spec comment inside an undocumented group.
+	KindLinear = "linear"
+	KindAffine = "affine" // want "exported const KindAffine has no doc comment"
+	kindSecret = "secret"
+)
+
+var ErrClosed = errString("closed") // want "exported var ErrClosed has no doc comment"
+
+// ErrBusy is fine.
+var ErrBusy = errString("busy")
+
+var defaultPool = 0
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// quiet keeps the unexported helpers referenced.
+func quiet() {
+	internalHelper()
+	_ = defaultPool
+	_ = hidden{}
+}

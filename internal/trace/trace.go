@@ -109,6 +109,11 @@ type RunTrace struct {
 	// JobID joins the trace to the async job that ran it, when affidavitd
 	// executed the run through its job queue.
 	JobID string `json:"job_id,omitempty"`
+	// SnapshotID/ParentID carry catalog lineage when the run was a
+	// snapshot-catalog chain step: the pushed snapshot being explained and
+	// its chain parent.
+	SnapshotID string `json:"snapshot_id,omitempty"`
+	ParentID   string `json:"parent_id,omitempty"`
 	// StartedAt is the wall-clock time of the first observed event.
 	StartedAt time.Time `json:"started_at"`
 	// DurationMS is the wall time from the first event to the done event.
@@ -220,6 +225,15 @@ func (r *Recorder) SetLabel(label string) {
 func (r *Recorder) SetJobID(id string) {
 	r.mu.Lock()
 	r.t.JobID = id
+	r.mu.Unlock()
+}
+
+// SetLineage joins the trace to its catalog lineage (the explained
+// snapshot and its chain parent). Safe before or during the run.
+func (r *Recorder) SetLineage(snapshotID, parentID string) {
+	r.mu.Lock()
+	r.t.SnapshotID = snapshotID
+	r.t.ParentID = parentID
 	r.mu.Unlock()
 }
 
